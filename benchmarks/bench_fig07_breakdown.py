@@ -1,0 +1,53 @@
+"""Reproduces Figure 7: training-time breakdown of baseline GS-Scale on
+the RTX 4070 Mobile laptop (Rubble and Building).
+
+Paper shape: CPU frustum culling and CPU optimizer updates dominate
+(together ~80%), GPU fwd/bwd is a minor share, transfers small."""
+
+from repro.bench import Table, write_report
+from repro.datasets import get_scene, synthesize_trace
+from repro.sim import get_platform, simulate_epoch
+
+STAGES = ["cull", "h2d", "fwd_bwd", "d2h", "optimizer", "misc"]
+LABELS = {
+    "cull": "CPU Frustum Culling",
+    "h2d": "Host to Device",
+    "fwd_bwd": "GPU Fwd/Bwd",
+    "d2h": "Device to Host",
+    "optimizer": "CPU Optimizer Update",
+    "misc": "Misc",
+}
+
+
+def build_table():
+    plat = get_platform("laptop_4070m")
+    t = Table(
+        title="Figure 7 — Baseline GS-Scale Time Breakdown (RTX 4070M)",
+        columns=["Scene"] + [LABELS[s] + " %" for s in STAGES],
+        notes=["Small scene variants (the baseline's staging window must "
+               "fit the 8 GB GPU, as in the paper's measurement setup)."],
+    )
+    shares = {}
+    for key in ("rubble", "building"):
+        spec = get_scene(key)
+        trace = synthesize_trace(spec, num_views=200, seed=3, use_small=True)
+        res = simulate_epoch(plat, trace, "baseline_offload", spec.num_pixels)
+        assert not res.oom
+        total = sum(res.breakdown.values())
+        row_shares = {s: 100 * res.breakdown.get(s, 0.0) / total for s in STAGES}
+        t.add_row(spec.name, *[row_shares[s] for s in STAGES])
+        shares[key] = row_shares
+    return t, shares
+
+
+def test_fig07_breakdown(benchmark):
+    table, shares = benchmark(build_table)
+    print("\n" + write_report("fig07_breakdown", table))
+    for key in ("rubble", "building"):
+        s = shares[key]
+        # culling + optimizer dominate the baseline (Section 4.1)
+        assert s["cull"] + s["optimizer"] > 60.0
+        assert s["optimizer"] > s["fwd_bwd"]
+        assert s["cull"] > s["h2d"]
+        # transfers are visible but minor
+        assert 0.0 < s["h2d"] + s["d2h"] < 25.0

@@ -1,0 +1,68 @@
+"""Reproduces Figure 9: execution timelines of the four systems.
+
+Prints ASCII Gantt charts (and writes a Chrome trace for the full GS-Scale
+schedule) for one steady-state iteration on the laptop platform."""
+
+import os
+
+from repro.bench import Table, output_dir, write_report
+from repro.datasets import get_scene
+from repro.sim import (
+    CostModel,
+    get_platform,
+    render_ascii,
+    simulate_iteration,
+    write_chrome_trace,
+)
+
+SYSTEM_ORDER = [
+    ("gpu_only", "(a) GPU-Only"),
+    ("baseline_offload", "(b) Baseline GS-Scale"),
+    ("gsscale_no_deferred", "(c) GS-Scale w/o Deferred Adam"),
+    ("gsscale", "(d) GS-Scale (all optimizations)"),
+]
+
+
+def build_timelines():
+    plat = get_platform("laptop_4070m")
+    spec = get_scene("rubble")
+    cost = CostModel(plat)
+    sims = {}
+    charts = []
+    for system, label in SYSTEM_ORDER:
+        it = simulate_iteration(
+            system, cost,
+            n_total=spec.small_total_gaussians,
+            active_ratio=spec.avg_active_ratio,
+            num_pixels=spec.num_pixels,
+        )
+        sims[system] = it
+        charts.append(f"{label}  —  {it.time * 1e3:.1f} ms/iter")
+        charts.append(render_ascii(it.segments))
+        charts.append("")
+    return sims, "\n".join(charts)
+
+
+def test_fig09_timeline(benchmark):
+    sims, text = benchmark(build_timelines)
+    print("\n" + text)
+    with open(os.path.join(output_dir(), "fig09_timeline.txt"), "w") as f:
+        f.write(text)
+    write_chrome_trace(
+        sims["gsscale"].segments,
+        os.path.join(output_dir(), "fig09_gsscale.trace.json"),
+    )
+
+    # Figure 9's ordering: each optimization tier strictly improves
+    t = {k: v.time for k, v in sims.items()}
+    assert t["baseline_offload"] > t["gsscale_no_deferred"] > t["gsscale"]
+    # on the laptop, full GS-Scale beats even GPU-only (Section 5.3/5.4)
+    assert t["gsscale"] < t["gpu_only"]
+
+    summary = Table(
+        title="Figure 9 — Iteration time per schedule (laptop, Rubble-small)",
+        columns=["System", "ms/iteration"],
+    )
+    for system, label in SYSTEM_ORDER:
+        summary.add_row(label, t[system] * 1e3)
+    print("\n" + write_report("fig09_summary", summary))

@@ -1,0 +1,128 @@
+"""Reproduces Figure 11: training throughput of the four systems across
+six scenes (plus Small variants) on laptop and desktop, normalized to
+baseline GS-Scale, with OOM markers.
+
+Paper headline numbers: GS-Scale all-optimizations achieves geomean 4.47x
+(laptop) / 4.57x (desktop) over baseline, and 1.22x / 0.84x of GPU-only
+throughput (excluding OOM cases)."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.bench import Table, write_report
+from repro.datasets import all_scenes, synthesize_trace
+from repro.sim import SYSTEMS, geomean, get_platform, simulate_epoch
+
+PLATFORM_KEYS = ("laptop_4070m", "desktop_4080s")
+
+#: Per-platform full-scale Gaussian budget. The paper scales each scene up
+#: to the platform's feasible maximum by adjusting densification settings
+#: (Section 5.1, "following the Grendel methodology"); the laptop maxes out
+#: around 16-18M under GS-Scale (Section 5.6). Aerial is exempt — its
+#: initial point cloud is already too large to downsize (Section 5.3).
+PLATFORM_FULL_CAP = {"laptop_4070m": 12_500_000, "desktop_4080s": None}
+
+
+def _full_spec(spec, platform_key):
+    cap = PLATFORM_FULL_CAP[platform_key]
+    if cap is None or spec.name == "Aerial" or spec.total_gaussians <= cap:
+        return spec
+    return dataclasses.replace(spec, total_gaussians=cap)
+
+
+def run_platform(platform_key: str):
+    plat = get_platform(platform_key)
+    t = Table(
+        title=f"Figure 11 — Normalized Training Throughput ({plat.gpu.name})",
+        columns=["Scene", "Baseline", "w/o Deferred", "GS-Scale (all)", "GPU-Only"],
+        notes=["Throughput normalized to baseline GS-Scale; 'OOM' marks "
+               "configurations that exceed GPU memory.",
+               "Full-scale configs use each platform's feasible maximum "
+               "(the paper scales scenes per platform via densification "
+               "settings); Aerial cannot be downsized."],
+    )
+    stats = {"gs_vs_gpu": [], "speedup_full": [], "speedup_wo": []}
+    variants = []
+    for spec in all_scenes():
+        if spec.small_total_gaussians is not None:
+            variants.append((f"{spec.name}-Small", spec, True))
+        variants.append((spec.name, _full_spec(spec, platform_key), False))
+    for label, spec, small in variants:
+        trace = synthesize_trace(
+            spec, num_views=150, seed=7, use_small=small
+        )
+        results = {}
+        for system in SYSTEMS:
+            results[system] = simulate_epoch(
+                plat, trace, system, spec.num_pixels
+            )
+        base = results["baseline_offload"]
+        row = [label]
+        for system in ("baseline_offload", "gsscale_no_deferred", "gsscale",
+                       "gpu_only"):
+            r = results[system]
+            if r.oom:
+                row.append("OOM")
+            elif base.oom:
+                row.append("-")
+            else:
+                row.append(round(base.seconds / r.seconds, 2))
+        t.add_row(*row)
+        if not base.oom and not results["gsscale"].oom:
+            if not results["gpu_only"].oom:
+                stats["gs_vs_gpu"].append(
+                    results["gpu_only"].seconds / results["gsscale"].seconds
+                )
+            stats["speedup_full"].append(
+                base.seconds / results["gsscale"].seconds
+            )
+            if not results["gsscale_no_deferred"].oom:
+                stats["speedup_wo"].append(
+                    base.seconds / results["gsscale_no_deferred"].seconds
+                )
+    t.notes.append(
+        f"geomean speedup over baseline: {geomean(stats['speedup_full']):.2f}x "
+        f"(paper ~4.5x); GS-Scale vs GPU-only: {geomean(stats['gs_vs_gpu']):.2f}x"
+    )
+    return t, stats
+
+
+def build_all():
+    return {pk: run_platform(pk) for pk in PLATFORM_KEYS}
+
+
+def test_fig11_throughput(benchmark):
+    all_results = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    tables = [all_results[pk][0] for pk in PLATFORM_KEYS]
+    print("\n" + write_report("fig11_throughput", *tables))
+
+    laptop_stats = all_results["laptop_4070m"][1]
+    desktop_stats = all_results["desktop_4080s"][1]
+
+    # Section 5.4: ~4.5x geomean speedup from the three optimizations
+    assert 3.5 <= geomean(laptop_stats["speedup_full"]) <= 8.0
+    assert 3.5 <= geomean(desktop_stats["speedup_full"]) <= 8.0
+    # deferred Adam contributes beyond forwarding+selective alone
+    assert geomean(laptop_stats["speedup_full"]) > geomean(
+        laptop_stats["speedup_wo"]
+    )
+    # Section 5.3: laptop GS-Scale beats GPU-only; desktop slightly behind
+    assert geomean(laptop_stats["gs_vs_gpu"]) > 1.0
+    assert geomean(desktop_stats["gs_vs_gpu"]) < 1.0
+
+    # OOM pattern: GPU-only fails on every full-scale scene on the laptop
+    laptop_table = all_results["laptop_4070m"][0]
+    full_rows = [r for r in laptop_table.rows if not r[0].endswith("-Small")]
+    assert all(r[4] == "OOM" for r in full_rows)
+    # ... while GS-Scale trains all laptop scenes except Aerial, which
+    # cannot be downsized and only fits the desktop (Section 5.3)
+    non_aerial = [r for r in full_rows if r[0] != "Aerial"]
+    assert all(r[3] != "OOM" for r in non_aerial)
+    laptop_aerial = next(r for r in full_rows if r[0] == "Aerial")
+    assert laptop_aerial[3] == "OOM"
+    # Aerial fits the desktop under GS-Scale (Section 5.3)
+    desktop_table = all_results["desktop_4080s"][0]
+    aerial = next(r for r in desktop_table.rows if r[0] == "Aerial")
+    assert aerial[3] != "OOM"
+    assert aerial[4] == "OOM"  # but not GPU-only

@@ -1,0 +1,114 @@
+"""Reproduces Figure 13: rendering quality vs Gaussian count across
+scenes, with per-platform maximum-scale markers.
+
+Two layers: the calibrated quality model regenerates the paper-scale
+curves (PSNR/SSIM up, LPIPS down, with GS-Scale extending each platform's
+maximum), and a *functional* sweep — real training runs at increasing
+Gaussian budgets on a synthetic scene — validates the monotone shape the
+model assumes."""
+
+import numpy as np
+
+from repro.bench import QualityModel, Table, write_report
+from repro.core import GSScaleConfig, Trainer
+from repro.datasets import get_scene
+from repro.densify import DensifyConfig
+from repro.sim import get_platform, max_trainable_gaussians
+
+SCENES = ("rubble", "building", "lfls", "sziit", "sztu")
+COUNTS = (4e6, 9e6, 18e6, 30e6, 40e6)
+
+
+def build_model_curves():
+    tables = []
+    curves = {}
+    for key in SCENES:
+        model = QualityModel(key)
+        t = Table(
+            title=f"Figure 13 — Quality vs Scale ({model.spec.name})",
+            columns=["Gaussians (M)", "PSNR", "SSIM", "LPIPS"],
+        )
+        pts = model.sweep(COUNTS)
+        for p in pts:
+            t.add_row(p.num_gaussians / 1e6, p.psnr, p.ssim, p.lpips)
+        curves[key] = pts
+        tables.append(t)
+
+    marker = Table(
+        title="Figure 13 — Maximum trainable scale per platform/system",
+        columns=["Platform", "System", "Max Gaussians (M)"],
+    )
+    spec = get_scene("rubble")
+    for pk in ("laptop_4070m", "desktop_4080s"):
+        gpu = get_platform(pk).gpu
+        for system in ("gpu_only", "gsscale"):
+            n = max_trainable_gaussians(
+                gpu, spec.num_pixels, system,
+                peak_active_ratio=spec.peak_active_ratio,
+            )
+            marker.add_row(gpu.name, system, n / 1e6)
+    tables.append(marker)
+    return tables, curves
+
+
+def run_functional_sweep(tiny_scene):
+    """Train the same synthetic scene at growing Gaussian budgets."""
+    t = Table(
+        title="Figure 13 (functional) — real training sweep, synthetic scene",
+        columns=["Budget", "Final Gaussians", "Test PSNR", "Test LPIPS-proxy"],
+    )
+    points = []
+    for budget in (60, 120, 240):
+        initial = tiny_scene.initial.select(
+            np.arange(min(budget // 2, tiny_scene.initial.num_gaussians))
+        )
+        trainer = Trainer(
+            initial,
+            GSScaleConfig(
+                system="gsscale",
+                scene_extent=tiny_scene.extent,
+                ssim_lambda=0.0,
+                mem_limit=1.0,
+                seed=0,
+            ),
+            densify=DensifyConfig(
+                interval=5, start_iteration=5, stop_iteration=40,
+                grad_threshold=1e-9, percent_dense=0.05,
+                max_gaussians=budget,
+            ),
+        )
+        trainer.train(
+            tiny_scene.train_cameras, tiny_scene.train_images, iterations=30
+        )
+        ev = trainer.evaluate(tiny_scene.test_cameras, tiny_scene.test_images)
+        t.add_row(budget, trainer.num_gaussians, ev.psnr, ev.lpips_proxy)
+        points.append((trainer.num_gaussians, ev.psnr, ev.lpips_proxy))
+    return t, points
+
+
+def test_fig13_model_curves(benchmark):
+    tables, curves = benchmark(build_model_curves)
+    print("\n" + write_report("fig13_quality_scaling", *tables))
+    for key, pts in curves.items():
+        psnr = [p.psnr for p in pts]
+        ssim = [p.ssim for p in pts]
+        lpips = [p.lpips for p in pts]
+        assert psnr == sorted(psnr), key
+        assert ssim == sorted(ssim), key
+        assert lpips == sorted(lpips, reverse=True), key
+    # Section 5.6 LPIPS deltas: ~28.7% from 4M to 18M
+    m = QualityModel("rubble")
+    delta = 1 - m.lpips(18e6) / m.lpips(4e6)
+    assert abs(delta - 0.287) < 0.02
+
+
+def test_fig13_functional_sweep(benchmark, tiny_scene):
+    table, points = benchmark.pedantic(
+        run_functional_sweep, args=(tiny_scene,), rounds=1, iterations=1
+    )
+    print("\n" + write_report("fig13_functional", table))
+    counts = [p[0] for p in points]
+    psnrs = [p[1] for p in points]
+    assert counts[0] < counts[-1]  # budgets produce growing models
+    # more Gaussians -> better quality (the figure's core trend)
+    assert psnrs[-1] > psnrs[0]

@@ -1,0 +1,64 @@
+"""Reproduces Figure 14: training throughput on the H100 server.
+
+Paper shape: similar trend to laptop/desktop; large speedup on Aerial
+(deferred update wins most at the lowest active ratio); overall normalized
+throughput lower than the laptop's despite a similar R_bw, because NUMA
+hurts the deferred update's random accesses (Section 5.7)."""
+
+from repro.bench import Table, write_report
+from repro.datasets import all_scenes, synthesize_trace
+from repro.sim import geomean, get_platform, simulate_epoch
+
+
+def build_table():
+    plat = get_platform("server_h100")
+    t = Table(
+        title="Figure 14 — Training Throughput on Server (H100 PCIe)",
+        columns=["Scene", "GPU-Only", "GS-Scale (normalized)"],
+        notes=["Normalized to GPU-only; full-scale scenes (80 GB fits all)."],
+    )
+    ratios = {}
+    for spec in all_scenes():
+        trace = synthesize_trace(spec, num_views=150, seed=7)
+        g = simulate_epoch(plat, trace, "gpu_only", spec.num_pixels)
+        s = simulate_epoch(plat, trace, "gsscale", spec.num_pixels)
+        assert not g.oom and not s.oom  # 80 GB server fits everything
+        ratio = g.seconds / s.seconds
+        t.add_row(spec.name, 1.0, ratio)
+        ratios[spec.name.lower()] = ratio
+    t.notes.append(f"geomean {geomean(ratios.values()):.2f}x")
+    return t, ratios
+
+
+def test_fig14_server(benchmark):
+    table, ratios = benchmark(build_table)
+    print("\n" + write_report("fig14_server", table))
+
+    # Aerial gets the largest speedup (deferred update at 2.3% active)
+    assert ratios["aerial"] == max(ratios.values())
+    assert ratios["aerial"] > 1.05
+    # overall close to GPU-only
+    assert 0.7 <= geomean(ratios.values()) <= 1.5
+
+    # Section 5.7: server normalized throughput below the laptop's
+    lap = get_platform("laptop_4070m")
+    lap_ratios = []
+    for spec in all_scenes():
+        if spec.small_total_gaussians is None:
+            continue
+        trace = synthesize_trace(spec, num_views=150, seed=7, use_small=True)
+        g = simulate_epoch(lap, trace, "gpu_only", spec.num_pixels)
+        s = simulate_epoch(lap, trace, "gsscale", spec.num_pixels)
+        if not g.oom:
+            lap_ratios.append(g.seconds / s.seconds)
+    srv_small = []
+    for spec in all_scenes():
+        if spec.small_total_gaussians is None:
+            continue
+        trace = synthesize_trace(spec, num_views=150, seed=7, use_small=True)
+        g = simulate_epoch(get_platform("server_h100"), trace, "gpu_only",
+                           spec.num_pixels)
+        s = simulate_epoch(get_platform("server_h100"), trace, "gsscale",
+                           spec.num_pixels)
+        srv_small.append(g.seconds / s.seconds)
+    assert geomean(srv_small) < geomean(lap_ratios)

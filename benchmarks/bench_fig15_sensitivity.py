@@ -1,0 +1,72 @@
+"""Reproduces Figure 15: sensitivity to mem_limit (a, b) and to the GPU
+model (c).
+
+Paper shape: lowering mem_limit saves GPU memory at a throughput cost
+(more splits -> extra culling and transfers); GPUs with higher R_bw show
+lower normalized GS-Scale throughput (less slack to hide CPU work)."""
+
+from repro.bench import Table, write_report
+from repro.datasets import get_scene, synthesize_trace
+from repro.sim import get_platform, simulate_epoch
+
+
+def build_mem_limit_tables():
+    plat = get_platform("desktop_4080s")
+    spec = get_scene("rubble")
+    trace = synthesize_trace(spec, num_views=150, seed=7)
+    mem_t = Table(
+        title="Figure 15a — GPU Memory vs mem_limit (Rubble, desktop)",
+        columns=["mem_limit", "Peak GPU Memory (GiB)"],
+    )
+    tp_t = Table(
+        title="Figure 15b — Training Throughput vs mem_limit",
+        columns=["mem_limit", "Images/s"],
+    )
+    mems, tps = [], []
+    for ml in (0.3, 0.2, 0.1):
+        r = simulate_epoch(plat, trace, "gsscale", spec.num_pixels, mem_limit=ml)
+        assert not r.oom
+        mem_t.add_row(ml, r.peak_memory_bytes / 2**30)
+        tp_t.add_row(ml, r.images_per_second)
+        mems.append(r.peak_memory_bytes)
+        tps.append(r.images_per_second)
+    return mem_t, tp_t, mems, tps
+
+
+def build_gpu_table():
+    spec = get_scene("lfls")
+    trace = synthesize_trace(spec, num_views=150, seed=7, use_small=True)
+    t = Table(
+        title="Figure 15c — Normalized Throughput vs GPU (LFLS, desktop CPUs)",
+        columns=["GPU", "R_bw", "GS-Scale / GPU-Only"],
+    )
+    ratios = []
+    for pk in ("desktop_4070s", "desktop_4080s", "desktop_4090"):
+        plat = get_platform(pk)
+        g = simulate_epoch(plat, trace, "gpu_only", spec.num_pixels)
+        s = simulate_epoch(plat, trace, "gsscale", spec.num_pixels)
+        assert not g.oom
+        ratio = g.seconds / s.seconds
+        t.add_row(plat.gpu.name, round(plat.r_bw, 1), ratio)
+        ratios.append(ratio)
+    return t, ratios
+
+
+def test_fig15ab_mem_limit(benchmark):
+    mem_t, tp_t, mems, tps = benchmark(build_mem_limit_tables)
+    print("\n" + write_report("fig15ab_mem_limit", mem_t, tp_t))
+    # memory strictly decreases, throughput does not increase
+    assert mems[0] > mems[1] > mems[2]
+    assert tps[0] >= tps[1] >= tps[2]
+    # but the throughput cost is moderate (the paper still recommends 0.3
+    # only to *prioritize* speed; 0.1 remains usable)
+    assert tps[2] > 0.5 * tps[0]
+
+
+def test_fig15c_gpu_sensitivity(benchmark):
+    table, ratios = benchmark(build_gpu_table)
+    print("\n" + write_report("fig15c_gpu", table))
+    # normalized GS-Scale throughput decreases with R_bw (Section 5.8)
+    assert ratios[0] > ratios[1] > ratios[2]
+    # RTX 4090 (R_bw = 11.3) is the least favorable for offloading
+    assert ratios[2] < 1.0

@@ -1,0 +1,62 @@
+"""Reproduces Figure 16: impact of image resolution on normalized memory
+usage and training throughput (Rubble, desktop).
+
+Paper shape: higher resolution -> relative memory savings shrink (growing
+activations are not offloadable) while relative throughput *improves*
+(slower GPU fwd/bwd leaves more slack to hide CPU optimizer work)."""
+
+import dataclasses
+
+from repro.bench import Table, write_report
+from repro.datasets import get_scene, synthesize_trace
+from repro.sim import get_platform, peak_memory, simulate_epoch
+
+RESOLUTIONS = (("1K", 1_000_000), ("2K", 2_200_000), ("4K", 8_300_000))
+
+#: Scene size chosen so GPU-only still fits the 16 GB desktop at 4K
+#: (activation memory alone is ~9 GB there — Figure 3b's point).
+NUM_GAUSSIANS = 1_500_000
+
+
+def build_tables():
+    plat = get_platform("desktop_4080s")
+    spec = dataclasses.replace(
+        get_scene("rubble"), total_gaussians=NUM_GAUSSIANS
+    )
+    trace = synthesize_trace(spec, num_views=150, seed=7)
+    n = trace.total_gaussians
+
+    mem_t = Table(
+        title="Figure 16a — Normalized Memory Usage vs Resolution",
+        columns=["Resolution", "GPU-Only (GiB)", "GS-Scale (GiB)", "Normalized"],
+    )
+    tp_t = Table(
+        title="Figure 16b — Normalized Training Throughput vs Resolution",
+        columns=["Resolution", "GS-Scale / GPU-Only"],
+    )
+    mem_ratio, tp_ratio = [], []
+    for label, px in RESOLUTIONS:
+        g_mem = peak_memory("gpu_only", n, px, trace.peak_ratio).total
+        s_mem = peak_memory(
+            "gsscale", n, px, trace.clipped(0.3).peak_ratio, 0.3
+        ).total
+        mem_t.add_row(label, g_mem / 2**30, s_mem / 2**30, s_mem / g_mem)
+        mem_ratio.append(s_mem / g_mem)
+
+        g = simulate_epoch(plat, trace, "gpu_only", px)
+        s = simulate_epoch(plat, trace, "gsscale", px)
+        ratio = (
+            float("nan") if g.oom else g.seconds / s.seconds
+        )
+        tp_t.add_row(label, ratio)
+        tp_ratio.append(ratio)
+    return mem_t, tp_t, mem_ratio, tp_ratio
+
+
+def test_fig16_resolution(benchmark):
+    mem_t, tp_t, mem_ratio, tp_ratio = benchmark(build_tables)
+    print("\n" + write_report("fig16_resolution", mem_t, tp_t))
+    # memory savings shrink with resolution (activation share grows)
+    assert mem_ratio[0] < mem_ratio[1] < mem_ratio[2]
+    # relative throughput improves with resolution (more pipelining slack)
+    assert tp_ratio[0] < tp_ratio[1] < tp_ratio[2]

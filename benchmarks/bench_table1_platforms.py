@@ -1,0 +1,36 @@
+"""Reproduces Table 1: specifications of the evaluated GPU platforms."""
+
+from repro.bench import Table, write_report
+from repro.sim import PLATFORMS
+
+
+def build_table() -> Table:
+    t = Table(
+        title="Table 1 — Specifications of GPU Platforms",
+        columns=[
+            "Platform", "GPU", "GPU Mem", "GPU BW (GB/s)", "PCIe (GB/s)",
+            "Host Mem", "Host BW (GB/s)", "R_bw",
+        ],
+    )
+    for key in ("laptop_4070m", "desktop_4080s", "server_h100"):
+        p = PLATFORMS[key]
+        t.add_row(
+            p.kind,
+            p.gpu.name,
+            f"{p.gpu.memory_bytes / 2**30:.0f} GB",
+            p.gpu.mem_bw / 1e9,
+            p.pcie_bw / 1e9,
+            f"{p.host_memory_bytes / 2**30:.0f} GB",
+            p.cpu.mem_bw / 1e9,
+            round(p.r_bw, 1),
+        )
+    return t
+
+
+def test_table1(benchmark):
+    table = benchmark(build_table)
+    print("\n" + write_report("table1_platforms", table))
+    rows = {r[0]: r for r in table.rows}
+    assert rows["laptop"][-1] == 3.1
+    assert rows["desktop"][-1] == 8.2
+    assert rows["server"][-1] == 3.3

@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure/table benchmarks."""
+
+import pytest
+
+from repro.datasets import SyntheticSceneConfig, build_scene
+
+
+@pytest.fixture(scope="session")
+def tiny_scene():
+    """A small synthetic capture used by functional benches."""
+    return build_scene(
+        SyntheticSceneConfig(
+            name="tiny-rubble",
+            num_points=220,
+            width=32,
+            height=24,
+            num_train_cameras=5,
+            num_test_cameras=2,
+            altitude=10.0,
+            seed=42,
+        )
+    )

@@ -1,0 +1,74 @@
+"""Balance-aware image splitting on a density-skewed view (Section 4.4).
+
+Builds a scene with most Gaussians crowded into one side of the image,
+compares the naive midpoint split with the paper's 5-step binary search,
+then trains one step with splitting forced on and shows the peak staging
+memory drop at unchanged loss.
+
+Run:  python examples/image_splitting_demo.py
+"""
+
+import numpy as np
+
+from repro.cameras import Camera
+from repro.core import GSScaleConfig, create_system, find_balanced_split
+from repro.core.splitting import count_visible
+from repro.datasets import SyntheticSceneConfig, build_scene
+from repro.gaussians import GaussianModel
+
+
+def skewed_scene():
+    rng = np.random.default_rng(3)
+    left = rng.uniform([-9, -3, 0], [-2, 3, 1.5], size=(520, 3))
+    right = rng.uniform([3, -3, 0], [9, 3, 1.5], size=(80, 3))
+    pts = np.concatenate([left, right])
+    colors = rng.uniform(0, 1, size=(600, 3))
+    model = GaussianModel.from_point_cloud(pts, colors)
+    cam = Camera.look_at(
+        [0.0, 0.0, 16.0], [0.0, 0.1, 0.0], width=96, height=64, fov_x_deg=80.0
+    )
+    return model, cam
+
+
+def main():
+    model, cam = skewed_scene()
+    geo = (model.means, model.log_scales, model.quats)
+
+    naive_left = count_visible(*geo, cam.crop(0, cam.width // 2))
+    naive_right = count_visible(*geo, cam.crop(cam.width // 2, cam.width))
+    split = find_balanced_split(*geo, cam)
+
+    print("Skewed aerial view (85% of Gaussians on the left half):\n")
+    print(f"naive midpoint   : {naive_left:4d} | {naive_right:4d}  "
+          f"(balance {naive_left / (naive_left + naive_right):.3f})")
+    bal_left = count_visible(*geo, split.left)
+    bal_right = count_visible(*geo, split.right)
+    print(f"balance-aware    : {bal_left:4d} | {bal_right:4d}  "
+          f"(balance {split.balance:.3f}, split at column "
+          f"{split.split_x}/{cam.width})")
+    print("(paper reports an average balance of 0.551 : 0.449)\n")
+
+    scene = build_scene(
+        SyntheticSceneConfig(num_points=400, width=64, height=48,
+                             num_train_cameras=3, num_test_cameras=1,
+                             altitude=9.0, seed=5)
+    )
+    base = dict(system="gsscale", scene_extent=scene.extent,
+                ssim_lambda=0.0, seed=0)
+    whole = create_system(scene.initial.copy(),
+                          GSScaleConfig(mem_limit=1.0, **base))
+    forced = create_system(scene.initial.copy(),
+                           GSScaleConfig(mem_limit=1e-6, **base))
+    rw = whole.step(scene.train_cameras[0], scene.train_images[0])
+    rs = forced.step(scene.train_cameras[0], scene.train_images[0])
+    resident = 4 * scene.initial.num_gaussians * 10 * 4
+    print("One training step, whole image vs forced split:")
+    print(f"  regions    : {rw.num_regions} vs {rs.num_regions}")
+    print(f"  loss       : {rw.loss:.6f} vs {rs.loss:.6f} (identical)")
+    print(f"  peak staging+activations : "
+          f"{(whole.memory.peak_bytes - resident) / 1e3:.0f} KB vs "
+          f"{(forced.memory.peak_bytes - resident) / 1e3:.0f} KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Execution-timeline explorer (paper Figure 9).
+
+Prints ASCII Gantt charts of one steady-state training iteration under all
+four systems on any platform, and writes a Chrome trace
+(chrome://tracing) for the full GS-Scale pipeline.
+
+Run:  python examples/timeline_explorer.py [platform]
+      platform in: laptop_4070m desktop_4080s server_h100
+                   desktop_4070s desktop_4090
+"""
+
+import sys
+
+from repro.datasets import get_scene
+from repro.sim import (
+    CostModel,
+    get_platform,
+    render_ascii,
+    simulate_iteration,
+    write_chrome_trace,
+)
+
+SYSTEMS = [
+    ("gpu_only", "(a) GPU-Only"),
+    ("baseline_offload", "(b) Baseline GS-Scale"),
+    ("gsscale_no_deferred", "(c) GS-Scale w/o Deferred Adam"),
+    ("gsscale", "(d) GS-Scale (all optimizations)"),
+]
+
+
+def main():
+    platform_key = sys.argv[1] if len(sys.argv) > 1 else "laptop_4070m"
+    plat = get_platform(platform_key)
+    spec = get_scene("rubble")
+    cost = CostModel(plat)
+    n = spec.small_total_gaussians
+
+    print(f"Platform: {plat.gpu.name} + {plat.cpu.name} "
+          f"(R_bw = {plat.r_bw:.1f})")
+    print(f"Workload: Rubble-small, {n / 1e6:.1f}M Gaussians, "
+          f"{100 * spec.avg_active_ratio:.1f}% active, "
+          f"{spec.width}x{spec.height}\n")
+
+    times = {}
+    for system, label in SYSTEMS:
+        it = simulate_iteration(
+            system, cost, n_total=n,
+            active_ratio=spec.avg_active_ratio, num_pixels=spec.num_pixels,
+        )
+        times[system] = it.time
+        print(f"{label} — {it.time * 1e3:.1f} ms/iteration")
+        print(render_ascii(it.segments))
+        print()
+        if system == "gsscale":
+            path = "gsscale_iteration.trace.json"
+            write_chrome_trace(it.segments, path)
+            print(f"  (full pipeline written to {path} — open in "
+                  "chrome://tracing)\n")
+
+    base = times["baseline_offload"]
+    print("Speedup over baseline (Figure 11's per-scene story):")
+    for system, label in SYSTEMS:
+        print(f"  {label:<36} {base / times[system]:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin setup.py so legacy editable installs work offline (no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Camera substrate: pinhole model and synthetic capture trajectories."""
+
+from . import trajectories
+from .camera import Camera
+
+__all__ = ["Camera", "trajectories"]

@@ -1,0 +1,143 @@
+"""Pinhole camera model used for projection and frustum culling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A calibrated pinhole camera (intrinsics + world-to-camera extrinsics).
+
+    Attributes:
+        width: image width in pixels.
+        height: image height in pixels.
+        fx, fy: focal lengths in pixels.
+        cx, cy: principal point in pixels.
+        world_to_cam_rot: rotation part of the world-to-camera transform,
+            shape ``(3, 3)``.
+        world_to_cam_trans: translation part, shape ``(3,)``.
+        near: near clipping plane distance.
+        far: far clipping plane distance.
+    """
+
+    width: int
+    height: int
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+    world_to_cam_rot: np.ndarray = field(repr=False)
+    world_to_cam_trans: np.ndarray = field(repr=False)
+    near: float = 0.01
+    far: float = 1000.0
+
+    def __post_init__(self):
+        rot = np.asarray(self.world_to_cam_rot, dtype=np.float64)
+        trans = np.asarray(self.world_to_cam_trans, dtype=np.float64)
+        if rot.shape != (3, 3):
+            raise ValueError(f"world_to_cam_rot must be (3, 3), got {rot.shape}")
+        if trans.shape != (3,):
+            raise ValueError(f"world_to_cam_trans must be (3,), got {trans.shape}")
+        object.__setattr__(self, "world_to_cam_rot", rot)
+        object.__setattr__(self, "world_to_cam_trans", trans)
+        if self.near <= 0 or self.far <= self.near:
+            raise ValueError("require 0 < near < far")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def look_at(
+        cls,
+        position: np.ndarray,
+        target: np.ndarray,
+        up: np.ndarray = (0.0, 0.0, 1.0),
+        width: int = 128,
+        height: int = 128,
+        fov_x_deg: float = 60.0,
+        near: float = 0.01,
+        far: float = 1000.0,
+    ) -> "Camera":
+        """Build a camera at ``position`` looking at ``target``.
+
+        Uses a right-handed camera frame with +z forward (points in front of
+        the camera have positive camera-space z), +x right, +y down — the
+        same convention as COLMAP/3DGS.
+        """
+        position = np.asarray(position, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        up = np.asarray(up, dtype=np.float64)
+
+        forward = target - position
+        norm = np.linalg.norm(forward)
+        if norm < 1e-12:
+            raise ValueError("camera position and target coincide")
+        forward = forward / norm
+        right = np.cross(forward, up)
+        rnorm = np.linalg.norm(right)
+        if rnorm < 1e-9:
+            # forward parallel to up; pick an arbitrary perpendicular axis
+            alt = np.array([1.0, 0.0, 0.0])
+            if abs(forward @ alt) > 0.9:
+                alt = np.array([0.0, 1.0, 0.0])
+            right = np.cross(forward, alt)
+            rnorm = np.linalg.norm(right)
+        right = right / rnorm
+        down = np.cross(forward, right)
+
+        # rows of cam-from-world rotation are the camera axes in world coords
+        rot = np.stack([right, down, forward], axis=0)
+        trans = -rot @ position
+
+        fx = (width / 2.0) / np.tan(np.deg2rad(fov_x_deg) / 2.0)
+        return cls(
+            width=width,
+            height=height,
+            fx=fx,
+            fy=fx,
+            cx=width / 2.0,
+            cy=height / 2.0,
+            world_to_cam_rot=rot,
+            world_to_cam_trans=trans,
+            near=near,
+            far=far,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def center(self) -> np.ndarray:
+        """Camera center in world coordinates, shape ``(3,)``."""
+        return -self.world_to_cam_rot.T @ self.world_to_cam_trans
+
+    @property
+    def num_pixels(self) -> int:
+        """Total pixel count ``width * height``."""
+        return self.width * self.height
+
+    def world_to_cam(self, points: np.ndarray) -> np.ndarray:
+        """Transform world points ``(N, 3)`` into camera space."""
+        return points @ self.world_to_cam_rot.T + self.world_to_cam_trans
+
+    def project(self, cam_points: np.ndarray) -> np.ndarray:
+        """Project camera-space points ``(N, 3)`` to pixel coordinates ``(N, 2)``.
+
+        No clipping is performed; callers must cull points behind the camera.
+        """
+        z = cam_points[:, 2]
+        u = self.fx * cam_points[:, 0] / z + self.cx
+        v = self.fy * cam_points[:, 1] / z + self.cy
+        return np.stack([u, v], axis=-1)
+
+    def crop(self, x_min: int, x_max: int) -> "Camera":
+        """Camera for a vertical image strip ``[x_min, x_max)``.
+
+        Used by balance-aware image splitting (Section 4.4): the sub-image
+        shares the full camera's geometry but renders only a column range,
+        so the principal point shifts by ``x_min``.
+        """
+        if not 0 <= x_min < x_max <= self.width:
+            raise ValueError(
+                f"invalid crop [{x_min}, {x_max}) for width {self.width}"
+            )
+        return replace(self, width=x_max - x_min, cx=self.cx - x_min)

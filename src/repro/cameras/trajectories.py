@@ -1,0 +1,123 @@
+"""Camera trajectory generators for synthetic capture sessions.
+
+These substitute for the multi-view capture rigs of the paper's datasets
+(Table 2): drone-style aerial grids for Mill-19/GauU-Scene-like scenes and
+orbit rings for object-centric scans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .camera import Camera
+
+
+def orbit(
+    center: np.ndarray,
+    radius: float,
+    height: float,
+    num_cameras: int,
+    width: int = 128,
+    height_px: int = 128,
+    fov_x_deg: float = 60.0,
+    near: float = 0.01,
+    far: float = 1000.0,
+) -> list[Camera]:
+    """Ring of cameras orbiting ``center`` at ``radius`` and altitude ``height``."""
+    center = np.asarray(center, dtype=np.float64)
+    cameras = []
+    for i in range(num_cameras):
+        angle = 2.0 * np.pi * i / num_cameras
+        pos = center + np.array(
+            [radius * np.cos(angle), radius * np.sin(angle), height]
+        )
+        cameras.append(
+            Camera.look_at(
+                pos,
+                center,
+                width=width,
+                height=height_px,
+                fov_x_deg=fov_x_deg,
+                near=near,
+                far=far,
+            )
+        )
+    return cameras
+
+
+def aerial_grid(
+    extent: float,
+    altitude: float,
+    rows: int,
+    cols: int,
+    width: int = 128,
+    height_px: int = 128,
+    fov_x_deg: float = 70.0,
+    tilt: float = 0.35,
+    near: float = 0.01,
+    far: float = 1000.0,
+) -> list[Camera]:
+    """Drone-style lawnmower sweep over a square ``[-extent, extent]^2`` site.
+
+    Each camera looks at a point offset from the nadir by ``tilt * altitude``
+    in the flight direction, mimicking the oblique captures of the Rubble /
+    Building / MatrixCity-Aerial datasets.
+    """
+    cameras = []
+    xs = np.linspace(-extent, extent, cols)
+    ys = np.linspace(-extent, extent, rows)
+    for r, y in enumerate(ys):
+        ordered = xs if r % 2 == 0 else xs[::-1]
+        direction = 1.0 if r % 2 == 0 else -1.0
+        for x in ordered:
+            pos = np.array([x, y, altitude])
+            target = np.array([x + direction * tilt * altitude, y, 0.0])
+            cameras.append(
+                Camera.look_at(
+                    pos,
+                    target,
+                    width=width,
+                    height=height_px,
+                    fov_x_deg=fov_x_deg,
+                    near=near,
+                    far=far,
+                )
+            )
+    return cameras
+
+
+def random_views(
+    center: np.ndarray,
+    radius_range: tuple[float, float],
+    num_cameras: int,
+    rng: np.random.Generator,
+    width: int = 128,
+    height_px: int = 128,
+    fov_x_deg: float = 60.0,
+    min_altitude: float = 0.5,
+    near: float = 0.01,
+    far: float = 1000.0,
+) -> list[Camera]:
+    """Random viewpoints on a hemisphere shell around ``center``."""
+    center = np.asarray(center, dtype=np.float64)
+    cameras = []
+    lo, hi = radius_range
+    for _ in range(num_cameras):
+        direction = rng.normal(size=3)
+        direction[2] = abs(direction[2]) + 1e-3
+        direction = direction / np.linalg.norm(direction)
+        radius = rng.uniform(lo, hi)
+        pos = center + direction * radius
+        pos[2] = max(pos[2], min_altitude)
+        cameras.append(
+            Camera.look_at(
+                pos,
+                center,
+                width=width,
+                height=height_px,
+                fov_x_deg=fov_x_deg,
+                near=near,
+                far=far,
+            )
+        )
+    return cameras

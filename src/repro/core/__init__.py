@@ -1,0 +1,31 @@
+"""GS-Scale core: offload systems, image splitting, trainer."""
+
+from .config import SYSTEM_NAMES, GSScaleConfig
+from .splitting import ImageSplit, find_balanced_split
+from .systems import (
+    BaselineOffloadSystem,
+    GPUOnlySystem,
+    GSScaleSystem,
+    StepReport,
+    TrainingSystem,
+    TransferLedger,
+    create_system,
+)
+from .trainer import EvalResult, Trainer, TrainingHistory
+
+__all__ = [
+    "BaselineOffloadSystem",
+    "EvalResult",
+    "GPUOnlySystem",
+    "GSScaleConfig",
+    "GSScaleSystem",
+    "ImageSplit",
+    "SYSTEM_NAMES",
+    "StepReport",
+    "Trainer",
+    "TrainingHistory",
+    "TrainingSystem",
+    "TransferLedger",
+    "create_system",
+    "find_balanced_split",
+]

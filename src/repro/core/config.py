@@ -1,0 +1,109 @@
+"""Configuration of the GS-Scale training engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gaussians.layout import SH_DEGREE
+from ..optim.base import AdamConfig
+from ..optim.lr_schedule import packed_lr_vector
+from ..render.rasterize import RasterConfig
+from ..train.loss import DEFAULT_SSIM_LAMBDA
+
+#: The paper's system variants (Figure 11's four bars).
+SYSTEM_NAMES = (
+    "gpu_only",
+    "baseline_offload",
+    "gsscale_no_deferred",
+    "gsscale",
+)
+
+
+@dataclass
+class GSScaleConfig:
+    """Everything the training engine needs to know.
+
+    Attributes:
+        system: one of :data:`SYSTEM_NAMES`.
+        mem_limit: image-splitting threshold — views whose active ratio
+            exceeds this fraction of total Gaussians are split
+            (Section 4.4; the paper uses 0.3).
+        max_defer: deferred-update counter saturation (4-bit -> 15).
+        sh_degree: maximum spherical-harmonics degree.
+        sh_degree_interval: if set, the active degree ramps up by one every
+            this many iterations (3DGS starts at degree 0 and raises it
+            every 1000 iterations); ``None`` uses ``sh_degree`` throughout.
+        position_lr_decay_steps: if set, the position learning rate decays
+            log-linearly to ``position_lr_final_scale`` of its initial
+            value over this many iterations (the 3DGS schedule).
+        position_lr_final_scale: final/initial position-lr ratio.
+        ssim_lambda: DSSIM weight in the photometric loss.
+        scene_extent: world radius; scales the position learning rate.
+        lr_overrides: per-attribute learning-rate overrides.
+        beta1, beta2, eps: Adam hyperparameters (eps=1e-15 per gsplat).
+        device_capacity_bytes: optional simulated GPU capacity; the
+            engine's MemoryTracker raises MemoryError past it, reproducing
+            the OOM behaviour of Figure 11.
+        raster: rasterizer thresholds.
+        background: render background color.
+        seed: RNG seed for anything stochastic in the engine.
+    """
+
+    system: str = "gsscale"
+    mem_limit: float = 0.3
+    max_defer: int = 15
+    sh_degree: int = SH_DEGREE
+    sh_degree_interval: int | None = None
+    position_lr_decay_steps: int | None = None
+    position_lr_final_scale: float = 0.01
+    ssim_lambda: float = DEFAULT_SSIM_LAMBDA
+    scene_extent: float = 1.0
+    lr_overrides: dict | None = None
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-15
+    device_capacity_bytes: int | None = None
+    raster: RasterConfig = field(default_factory=RasterConfig)
+    background: np.ndarray | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.system not in SYSTEM_NAMES:
+            raise ValueError(
+                f"unknown system {self.system!r}; choose from {SYSTEM_NAMES}"
+            )
+        if not 0.0 < self.mem_limit <= 1.0:
+            raise ValueError("mem_limit must be in (0, 1]")
+
+    def position_lr_scale_at(self, iteration: int) -> float:
+        """Multiplier on the position lr at a (1-based) iteration."""
+        if self.position_lr_decay_steps is None:
+            return 1.0
+        from ..optim.lr_schedule import exponential_decay
+
+        return exponential_decay(
+            iteration, self.position_lr_decay_steps, 1.0,
+            self.position_lr_final_scale,
+        )
+
+    def sh_degree_at(self, iteration: int) -> int:
+        """Active SH degree at a (1-based) training iteration."""
+        if self.sh_degree_interval is None:
+            return self.sh_degree
+        return min((iteration - 1) // self.sh_degree_interval, self.sh_degree)
+
+    def lr_vector(self, dtype=np.float64) -> np.ndarray:
+        """Packed per-column learning rates."""
+        return packed_lr_vector(
+            scene_extent=self.scene_extent,
+            overrides=self.lr_overrides,
+            dtype=dtype,
+        )
+
+    def adam_config(self, lr: np.ndarray) -> AdamConfig:
+        """Adam config with the given (sliced) lr vector."""
+        return AdamConfig(
+            lr=lr, beta1=self.beta1, beta2=self.beta2, eps=self.eps
+        )

@@ -1,0 +1,535 @@
+"""Functional implementations of the four training systems of Figure 11.
+
+Unlike :mod:`repro.sim` (which *models time*), these systems *execute
+training*: real culling, real rendering, real gradients, real optimizer
+state — with parameter placement, staging, and transfer ledgers faithfully
+mirroring each system's data movement:
+
+* :class:`GPUOnlySystem` — everything resident on the device.
+* :class:`BaselineOffloadSystem` — Section 4.1: all 59 parameters on the
+  host, full rows staged per iteration, dense Adam on the host.
+* :class:`GSScaleSystem` — Sections 4.2-4.4: geometric block pinned on the
+  device (selective offloading), non-geometric rows forwarded via
+  optimizer peeks (parameter forwarding), lazy host commits (optionally
+  deferred), and balance-aware image splitting.
+
+A :class:`~repro.sim.memory.MemoryTracker` accounts device bytes in fp32
+equivalents, so OOM behaviour and peak-memory ratios can be asserted
+functionally, not just modeled.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cameras.camera import Camera
+from ..gaussians import GaussianModel, layout
+from ..optim.adam import DenseAdam
+from ..optim.deferred import DeferredAdam
+from ..render import frustum_cull, render, render_backward
+from ..sim.memory import ACTIVATION_BYTES_PER_PIXEL, MemoryTracker
+from ..train.loss import photometric_loss
+from .config import GSScaleConfig
+from .splitting import find_balanced_split
+
+_F32 = 4  # accounting is in float32-equivalent bytes
+
+
+@dataclass
+class TransferLedger:
+    """Counts of simulated PCIe traffic."""
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    h2d_count: int = 0
+    d2h_count: int = 0
+
+    def record_h2d(self, num_bytes: int) -> None:
+        """Record a host-to-device transfer."""
+        self.h2d_bytes += num_bytes
+        self.h2d_count += 1
+
+    def record_d2h(self, num_bytes: int) -> None:
+        """Record a device-to-host transfer."""
+        self.d2h_bytes += num_bytes
+        self.d2h_count += 1
+
+
+@dataclass
+class StepReport:
+    """Outcome of one training step.
+
+    Attributes:
+        iteration: 1-based step index.
+        loss, l1, ssim: photometric loss and its components.
+        num_visible: Gaussians inside the view frustum (union of regions).
+        num_regions: 1, or 2+ when image splitting fired.
+        valid_ids: the visible indices (for densification).
+        mean2d_abs: screen-gradient magnitudes aligned with ``valid_ids``.
+    """
+
+    iteration: int
+    loss: float
+    l1: float
+    ssim: float
+    num_visible: int
+    num_regions: int
+    valid_ids: np.ndarray = field(repr=False)
+    mean2d_abs: np.ndarray = field(repr=False)
+
+
+@dataclass
+class _RegionOutput:
+    ids: np.ndarray
+    grads: np.ndarray
+    mean2d_abs: np.ndarray
+    loss: float
+    l1: float
+    ssim: float
+
+
+class TrainingSystem(ABC):
+    """Common machinery of all four systems."""
+
+    name = "abstract"
+
+    def __init__(self, model: GaussianModel, config: GSScaleConfig):
+        self.config = config
+        self.iteration = 0
+        self.memory = MemoryTracker(capacity_bytes=config.device_capacity_bytes)
+        self.ledger = TransferLedger()
+        self._lr = config.lr_vector(dtype=model.dtype)
+        self._setup(model)
+
+    # -- subclass surface --------------------------------------------------
+    @abstractmethod
+    def _setup(self, model: GaussianModel) -> None:
+        """Place parameters and build optimizers."""
+
+    @abstractmethod
+    def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
+        """Run one training iteration."""
+
+    @abstractmethod
+    def materialized_model(self) -> GaussianModel:
+        """Mathematically current parameters as a plain model (copy)."""
+
+    def finalize(self) -> None:
+        """Commit any pending/lazy state (end of training)."""
+
+    def rebuild(self, model: GaussianModel) -> None:
+        """Re-place parameters after a structural change (densification)."""
+        self.memory = MemoryTracker(capacity_bytes=self.config.device_capacity_bytes)
+        self.ledger = TransferLedger()
+        self._setup(model)
+
+    # -- shared helpers ----------------------------------------------------
+    @property
+    def num_gaussians(self) -> int:
+        """Scene size."""
+        return self._num_gaussians
+
+    def _scheduled_lr(self) -> np.ndarray | None:
+        """Full lr vector for this iteration, or None when static."""
+        if self.config.position_lr_decay_steps is None:
+            return None
+        lr = self._lr.copy()
+        lr[layout.MEAN_SLICE] *= self.config.position_lr_scale_at(self.iteration)
+        return lr
+
+    def _render_one(
+        self,
+        compact: GaussianModel,
+        camera: Camera,
+        gt_region: np.ndarray,
+        pixel_weight: float,
+    ) -> tuple[np.ndarray, np.ndarray, float, float, float]:
+        """Render a (possibly cropped) view of a compact visible-set model
+        and return packed gradients scaled to whole-image units."""
+        act_bytes = camera.num_pixels * ACTIVATION_BYTES_PER_PIXEL
+        self.memory.allocate("activations", act_bytes)
+        try:
+            res = render(
+                compact,
+                camera,
+                sh_degree=self.config.sh_degree_at(self.iteration),
+                background=self.config.background,
+                valid_ids=np.arange(compact.num_gaussians),
+                config=self.config.raster,
+            )
+            loss = photometric_loss(
+                res.image, gt_region, ssim_lambda=self.config.ssim_lambda
+            )
+            back = render_backward(
+                compact, camera, res, loss.grad_image * pixel_weight
+            )
+        finally:
+            self.memory.free("activations", act_bytes)
+        return (
+            back.param_grads,
+            back.mean2d_abs,
+            loss.loss * pixel_weight,
+            loss.l1 * pixel_weight,
+            loss.ssim,
+        )
+
+    @staticmethod
+    def _aggregate(regions: list[_RegionOutput]) -> _RegionOutput:
+        """Sum per-region gradients on the "host" (Section 4.4: gradients
+        are aggregated on the CPU, then a single optimizer update runs)."""
+        if len(regions) == 1:
+            return regions[0]
+        all_ids = np.concatenate([r.ids for r in regions])
+        union, inverse = np.unique(all_ids, return_inverse=True)
+        dim = regions[0].grads.shape[1]
+        grads = np.zeros((union.size, dim), dtype=regions[0].grads.dtype)
+        m2d = np.zeros(union.size, dtype=regions[0].mean2d_abs.dtype)
+        np.add.at(grads, inverse, np.concatenate([r.grads for r in regions]))
+        np.add.at(m2d, inverse, np.concatenate([r.mean2d_abs for r in regions]))
+        return _RegionOutput(
+            ids=union,
+            grads=grads,
+            mean2d_abs=m2d,
+            loss=sum(r.loss for r in regions),
+            l1=sum(r.l1 for r in regions),
+            ssim=float(np.mean([r.ssim for r in regions])),
+        )
+
+
+class GPUOnlySystem(TrainingSystem):
+    """Everything on the device; the paper's GPU-only reference."""
+
+    name = "gpu_only"
+
+    def _setup(self, model: GaussianModel) -> None:
+        self._num_gaussians = model.num_gaussians
+        self.params = model.params.copy()
+        self.optimizer = DenseAdam(
+            self.params, self.config.adam_config(self._lr)
+        )
+        n = self._num_gaussians
+        state = layout.param_bytes(n)
+        self.memory.allocate("params", state)
+        self.memory.allocate("grads", state)
+        self.memory.allocate("opt_states", 2 * state)
+
+    def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
+        self.iteration += 1
+        lr = self._scheduled_lr()
+        if lr is not None:
+            self.optimizer.set_lr(lr)
+        model = GaussianModel(self.params)
+        cull = frustum_cull(model.means, model.log_scales, model.quats, camera)
+        ids = cull.valid_ids
+        compact = GaussianModel(self.params[ids])
+        grads, m2d, loss, l1, ssim = self._render_one(
+            compact, camera, gt_image, 1.0
+        )
+        self.optimizer.step_sparse(ids, grads)
+        return StepReport(
+            iteration=self.iteration,
+            loss=loss,
+            l1=l1,
+            ssim=ssim,
+            num_visible=ids.size,
+            num_regions=1,
+            valid_ids=ids,
+            mean2d_abs=m2d,
+        )
+
+    def materialized_model(self) -> GaussianModel:
+        return GaussianModel(self.params.copy())
+
+
+class BaselineOffloadSystem(TrainingSystem):
+    """Baseline host offloading (Section 4.1, Figure 6): all parameters and
+    optimizer state on the host; full 59-parameter rows staged on demand;
+    dense Adam on the host CPU."""
+
+    name = "baseline_offload"
+
+    def _setup(self, model: GaussianModel) -> None:
+        self._num_gaussians = model.num_gaussians
+        self.host_params = model.params.copy()
+        self.optimizer = DenseAdam(
+            self.host_params, self.config.adam_config(self._lr)
+        )
+
+    def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
+        self.iteration += 1
+        lr = self._scheduled_lr()
+        if lr is not None:
+            self.optimizer.set_lr(lr)
+        model = GaussianModel(self.host_params)
+        # Challenge 1: culling must run on the CPU over host-resident params
+        cull = frustum_cull(model.means, model.log_scales, model.quats, camera)
+        ids = cull.valid_ids
+
+        staged_bytes = ids.size * layout.PARAM_DIM * _F32
+        self.memory.allocate("staged_params", staged_bytes)
+        self.memory.allocate("staged_grads", staged_bytes)
+        self.ledger.record_h2d(staged_bytes)
+        try:
+            compact = GaussianModel(self.host_params[ids].copy())
+            grads, m2d, loss, l1, ssim = self._render_one(
+                compact, camera, gt_image, 1.0
+            )
+            self.ledger.record_d2h(staged_bytes)
+        finally:
+            self.memory.free("staged_params", staged_bytes)
+            self.memory.free("staged_grads", staged_bytes)
+
+        # Challenge 2: dense Adam over every host row
+        self.optimizer.step_sparse(ids, grads)
+        return StepReport(
+            iteration=self.iteration,
+            loss=loss,
+            l1=l1,
+            ssim=ssim,
+            num_visible=ids.size,
+            num_regions=1,
+            valid_ids=ids,
+            mean2d_abs=m2d,
+        )
+
+    def materialized_model(self) -> GaussianModel:
+        return GaussianModel(self.host_params.copy())
+
+
+class GSScaleSystem(TrainingSystem):
+    """GS-Scale with selective offloading, parameter forwarding, optional
+    deferred optimizer update, and balance-aware image splitting."""
+
+    name = "gsscale"
+
+    def __init__(
+        self, model: GaussianModel, config: GSScaleConfig, deferred: bool = True
+    ):
+        self.deferred = deferred
+        super().__init__(model, config)
+        if not deferred:
+            self.name = "gsscale_no_deferred"
+
+    def _setup(self, model: GaussianModel) -> None:
+        self._num_gaussians = n = model.num_gaussians
+        cfg = self.config
+
+        # selective offloading: geometric block + its optimizer state live
+        # on the device (Section 4.2.1)
+        self.device_geo = model.geometric.copy()
+        self.geo_optimizer = DenseAdam(
+            self.device_geo,
+            cfg.adam_config(self._lr[layout.GEOMETRIC_SLICE]),
+        )
+        geo_state = layout.param_bytes(n, layout.GEOMETRIC_DIM)
+        self.memory.allocate("geo_params", geo_state)
+        self.memory.allocate("geo_grads", geo_state)
+        self.memory.allocate("geo_opt_states", 2 * geo_state)
+
+        # non-geometric block stays on the host
+        self.host_non_geo = model.non_geometric.copy()
+        host_cfg = cfg.adam_config(self._lr[layout.NON_GEOMETRIC_SLICE])
+        if self.deferred:
+            self.host_optimizer = DeferredAdam(
+                self.host_non_geo, host_cfg, max_defer=cfg.max_defer
+            )
+        else:
+            self.host_optimizer = DenseAdam(self.host_non_geo, host_cfg)
+
+        # parameter-forwarding pipeline state: previous iteration's
+        # gradients, not yet committed on the host
+        self._pending_ids: np.ndarray | None = None
+        self._pending_grads: np.ndarray | None = None
+
+    # -- parameter forwarding ------------------------------------------------
+    def _forwarded_values(self, ids: np.ndarray) -> np.ndarray:
+        """Pre-updated non-geometric rows for the next render (Section
+        4.2.2 / 4.3.3): peek the post-commit values without mutating any
+        host state."""
+        if self._pending_ids is None or self._pending_ids.size == 0:
+            if self.deferred:
+                return self.host_optimizer.materialized_params(ids)
+            return self.host_non_geo[ids].copy()
+        pending_rows = np.zeros(
+            (ids.size, layout.NON_GEOMETRIC_DIM), dtype=self.host_non_geo.dtype
+        )
+        pos = np.searchsorted(self._pending_ids, ids)
+        pos = np.clip(pos, 0, self._pending_ids.size - 1)
+        hit = self._pending_ids[pos] == ids
+        pending_rows[hit] = self._pending_grads[pos[hit]]
+        return self.host_optimizer.peek_updated(ids, pending_rows)
+
+    def _commit_pending(self) -> None:
+        """The lazy host update of the previous iteration (step 5 in
+        Figure 8), which the real system overlaps with GPU work."""
+        if self._pending_ids is None:
+            return
+        if self.deferred:
+            self.host_optimizer.step(self._pending_ids, self._pending_grads)
+        else:
+            self.host_optimizer.step_sparse(self._pending_ids, self._pending_grads)
+        self._pending_ids = None
+        self._pending_grads = None
+
+    # -- geometry access -----------------------------------------------------
+    @property
+    def _geo_means(self) -> np.ndarray:
+        return self.device_geo[:, 0:3]
+
+    @property
+    def _geo_log_scales(self) -> np.ndarray:
+        return self.device_geo[:, 3:6]
+
+    @property
+    def _geo_quats(self) -> np.ndarray:
+        return self.device_geo[:, 6:10]
+
+    def _cull(self, camera: Camera):
+        """GPU-side frustum culling over the resident geometric block."""
+        return frustum_cull(
+            self._geo_means, self._geo_log_scales, self._geo_quats, camera
+        )
+
+    # -- training step ---------------------------------------------------------
+    def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
+        self.iteration += 1
+        lr = self._scheduled_lr()
+        if lr is not None:
+            # the position columns live in the device geometric optimizer
+            self.geo_optimizer.set_lr(lr[layout.GEOMETRIC_SLICE])
+
+        whole = self._cull(camera)
+        ratio = whole.active_ratio
+        if ratio > self.config.mem_limit and camera.width >= 2:
+            split = find_balanced_split(
+                self._geo_means, self._geo_log_scales, self._geo_quats, camera
+            )
+            regions = list(split.regions)
+        else:
+            regions = [(camera, 0)]
+
+        total_px = camera.num_pixels
+        outputs: list[_RegionOutput] = []
+        for region_cam, x_offset in regions:
+            cull = (
+                whole if len(regions) == 1 else self._cull(region_cam)
+            )
+            ids = cull.valid_ids
+            if ids.size == 0:
+                continue
+            staged_vals = self._forwarded_values(ids)
+            staged_bytes = ids.size * layout.NON_GEOMETRIC_DIM * _F32
+            self.memory.allocate("staged_params", staged_bytes)
+            self.memory.allocate("staged_grads", staged_bytes)
+            self.ledger.record_h2d(staged_bytes)
+            try:
+                compact_params = np.empty(
+                    (ids.size, layout.PARAM_DIM), dtype=self.host_non_geo.dtype
+                )
+                compact_params[:, layout.GEOMETRIC_SLICE] = self.device_geo[ids]
+                compact_params[:, layout.NON_GEOMETRIC_SLICE] = staged_vals
+                compact = GaussianModel(compact_params)
+                gt_region = gt_image[:, x_offset : x_offset + region_cam.width]
+                weight = region_cam.num_pixels / total_px
+                grads, m2d, loss, l1, ssim = self._render_one(
+                    compact, region_cam, gt_region, weight
+                )
+                self.ledger.record_d2h(staged_bytes)
+            finally:
+                self.memory.free("staged_params", staged_bytes)
+                self.memory.free("staged_grads", staged_bytes)
+            outputs.append(
+                _RegionOutput(
+                    ids=ids, grads=grads, mean2d_abs=m2d,
+                    loss=loss, l1=l1, ssim=ssim,
+                )
+            )
+
+        # the lazy host commit of iteration N-1 (overlapped in real time)
+        self._commit_pending()
+
+        if not outputs:
+            # nothing visible: host optimizer still ticks (counters advance)
+            empty = np.zeros((0, layout.NON_GEOMETRIC_DIM), self.host_non_geo.dtype)
+            if self.deferred:
+                self.host_optimizer.step(np.empty(0, dtype=np.int64), empty)
+            else:
+                self.host_optimizer.step_sparse(np.empty(0, dtype=np.int64), empty)
+            self.geo_optimizer.step_sparse(
+                np.empty(0, dtype=np.int64),
+                np.zeros((0, layout.GEOMETRIC_DIM), self.device_geo.dtype),
+            )
+            return StepReport(
+                iteration=self.iteration, loss=0.0, l1=0.0, ssim=1.0,
+                num_visible=0, num_regions=len(regions),
+                valid_ids=np.empty(0, dtype=np.int64),
+                mean2d_abs=np.empty(0),
+            )
+
+        agg = self._aggregate(outputs)
+
+        # geometric M.S.Q. update directly on the device (step 4, Figure 8)
+        self.geo_optimizer.step_sparse(
+            agg.ids, agg.grads[:, layout.GEOMETRIC_SLICE]
+        )
+        # non-geometric gradients return to the host and wait for the lazy
+        # commit at the start of the next iteration (step 7, Figure 8)
+        self._pending_ids = agg.ids
+        self._pending_grads = agg.grads[:, layout.NON_GEOMETRIC_SLICE]
+
+        return StepReport(
+            iteration=self.iteration,
+            loss=agg.loss,
+            l1=agg.l1,
+            ssim=agg.ssim,
+            num_visible=int(agg.ids.size),
+            num_regions=len(regions),
+            valid_ids=agg.ids,
+            mean2d_abs=agg.mean2d_abs,
+        )
+
+    # -- state access ----------------------------------------------------------
+    def materialized_model(self) -> GaussianModel:
+        """Current parameters including pending gradients and deferred
+        drift (the values an immediate full commit would produce)."""
+        n = self._num_gaussians
+        params = np.empty((n, layout.PARAM_DIM), dtype=self.host_non_geo.dtype)
+        params[:, layout.GEOMETRIC_SLICE] = self.device_geo
+        if self._pending_ids is not None:
+            all_ids = np.arange(n)
+            pending_rows = np.zeros(
+                (n, layout.NON_GEOMETRIC_DIM), dtype=self.host_non_geo.dtype
+            )
+            pending_rows[self._pending_ids] = self._pending_grads
+            params[:, layout.NON_GEOMETRIC_SLICE] = (
+                self.host_optimizer.peek_updated(all_ids, pending_rows)
+            )
+        elif self.deferred:
+            params[:, layout.NON_GEOMETRIC_SLICE] = (
+                self.host_optimizer.materialized_params()
+            )
+        else:
+            params[:, layout.NON_GEOMETRIC_SLICE] = self.host_non_geo
+        return GaussianModel(params)
+
+    def finalize(self) -> None:
+        """Commit pending gradients and deferred drift."""
+        self._commit_pending()
+        if self.deferred:
+            self.host_optimizer.flush()
+
+
+def create_system(model: GaussianModel, config: GSScaleConfig) -> TrainingSystem:
+    """Factory for the four Figure-11 systems."""
+    if config.system == "gpu_only":
+        return GPUOnlySystem(model, config)
+    if config.system == "baseline_offload":
+        return BaselineOffloadSystem(model, config)
+    if config.system == "gsscale_no_deferred":
+        return GSScaleSystem(model, config, deferred=False)
+    if config.system == "gsscale":
+        return GSScaleSystem(model, config, deferred=True)
+    raise ValueError(f"unknown system {config.system!r}")

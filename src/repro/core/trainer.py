@@ -1,0 +1,207 @@
+"""End-to-end trainer: iterates views, densifies, evaluates.
+
+Orchestrates a :class:`~repro.core.systems.TrainingSystem` over a capture
+session (cameras + ground-truth images), running the seven-step pipeline
+of Figure 2 each iteration and adaptive density control on schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cameras.camera import Camera
+from ..densify import DensificationController, DensifyConfig, DensifyReport
+from ..gaussians import GaussianModel
+from ..metrics import perceptual_distance, psnr, ssim
+from ..render import render
+from .config import GSScaleConfig
+from .systems import StepReport, TrainingSystem, create_system
+
+
+@dataclass
+class EvalResult:
+    """Quality metrics averaged over a set of held-out views."""
+
+    psnr: float
+    ssim: float
+    lpips_proxy: float
+    num_views: int
+
+
+@dataclass
+class TrainingHistory:
+    """Everything a training run produced.
+
+    Attributes:
+        steps: per-iteration reports.
+        densify_reports: one entry per densification pass that fired.
+        final_eval: metrics on the test views after training (if run).
+        peak_device_bytes: high-water device memory across the run
+            (fp32-equivalent accounting).
+        h2d_bytes / d2h_bytes: total simulated PCIe traffic.
+    """
+
+    steps: list[StepReport] = field(default_factory=list)
+    densify_reports: list[DensifyReport] = field(default_factory=list)
+    final_eval: EvalResult | None = None
+    peak_device_bytes: int = 0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+
+    @property
+    def num_iterations(self) -> int:
+        """Completed training iterations."""
+        return len(self.steps)
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last iteration."""
+        if not self.steps:
+            raise ValueError("no training steps recorded")
+        return self.steps[-1].loss
+
+    @property
+    def mean_active_ratio(self) -> float:
+        """Average fraction of Gaussians used per iteration (Figure 4)."""
+        if not self.steps:
+            raise ValueError("no training steps recorded")
+        visible = np.array([s.num_visible for s in self.steps], dtype=float)
+        return float(np.mean(visible)) / max(self._final_n, 1)
+
+    _final_n: int = 0
+
+
+class Trainer:
+    """Trains a Gaussian scene with one of the four systems.
+
+    Args:
+        model: initial Gaussians (e.g. from a point cloud).
+        config: engine configuration (system choice, mem_limit, ...).
+        densify: optional densification schedule; None disables it.
+    """
+
+    def __init__(
+        self,
+        model: GaussianModel,
+        config: GSScaleConfig,
+        densify: DensifyConfig | None = None,
+    ):
+        self.config = config
+        self.system: TrainingSystem = create_system(model, config)
+        self._densify_cfg = densify
+        self._controller = (
+            DensificationController(densify, model.num_gaussians, seed=config.seed)
+            if densify
+            else None
+        )
+
+    @property
+    def num_gaussians(self) -> int:
+        """Current scene size."""
+        return self.system.num_gaussians
+
+    def train(
+        self,
+        cameras: list[Camera],
+        images: list[np.ndarray],
+        iterations: int,
+        shuffle: bool = False,
+    ) -> TrainingHistory:
+        """Run ``iterations`` training steps cycling through the views.
+
+        Args:
+            cameras: training cameras.
+            images: matching ground-truth images.
+            iterations: total optimizer steps.
+            shuffle: randomize view order each epoch (seeded).
+        """
+        if len(cameras) != len(images):
+            raise ValueError("cameras and images must align")
+        if not cameras:
+            raise ValueError("need at least one training view")
+        history = TrainingHistory()
+        rng = np.random.default_rng(self.config.seed)
+        order = np.arange(len(cameras))
+
+        for it in range(iterations):
+            pos = it % len(cameras)
+            if pos == 0 and shuffle:
+                rng.shuffle(order)
+            view = order[pos]
+            report = self.system.step(cameras[view], images[view])
+            history.steps.append(report)
+            if self._controller is not None:
+                self._controller.accumulate(report.valid_ids, report.mean2d_abs)
+                self._maybe_densify(it + 1, history)
+                self._maybe_reset_opacity(it + 1)
+
+        self.system.finalize()
+        history.peak_device_bytes = self.system.memory.peak_bytes
+        history.h2d_bytes = self.system.ledger.h2d_bytes
+        history.d2h_bytes = self.system.ledger.d2h_bytes
+        history._final_n = self.system.num_gaussians
+        return history
+
+    def _maybe_densify(self, iteration: int, history: TrainingHistory) -> None:
+        if not self._controller.should_run(iteration):
+            return
+        # structural edits need committed, materialized state
+        self.system.finalize()
+        model = self.system.materialized_model()
+        new_model, report = self._controller.run(
+            model, iteration, self.config.scene_extent
+        )
+        history.densify_reports.append(report)
+        self._rebuild_preserving_accounting(new_model)
+
+    def _maybe_reset_opacity(self, iteration: int) -> None:
+        if not self._controller.should_reset_opacity(iteration):
+            return
+        # opacity is host-side state in the offload systems: commit
+        # everything, rewrite, and re-place (same path as densification)
+        self.system.finalize()
+        model = self.system.materialized_model()
+        self._controller.reset_opacity(model)
+        self._rebuild_preserving_accounting(model)
+
+    def _rebuild_preserving_accounting(self, model: GaussianModel) -> None:
+        """Re-place parameters without losing run-level accounting.
+
+        ``rebuild`` resets the memory tracker and the transfer ledger
+        (their live state is sized by N); the run's high-water mark and
+        cumulative PCIe traffic must survive the swap.
+        """
+        peak = self.system.memory.peak_bytes
+        ledger = self.system.ledger
+        self.system.rebuild(model)
+        self.system.memory.peak_bytes = max(self.system.memory.peak_bytes, peak)
+        self.system.ledger.h2d_bytes += ledger.h2d_bytes
+        self.system.ledger.d2h_bytes += ledger.d2h_bytes
+        self.system.ledger.h2d_count += ledger.h2d_count
+        self.system.ledger.d2h_count += ledger.d2h_count
+
+    def evaluate(
+        self, cameras: list[Camera], images: list[np.ndarray]
+    ) -> EvalResult:
+        """Render held-out views with the current model and score them."""
+        model = self.system.materialized_model()
+        psnrs, ssims, lpips = [], [], []
+        for cam, gt in zip(cameras, images):
+            img = render(
+                model,
+                cam,
+                sh_degree=self.config.sh_degree,
+                background=self.config.background,
+                config=self.config.raster,
+            ).image
+            psnrs.append(psnr(img, gt))
+            ssims.append(ssim(img, gt))
+            lpips.append(perceptual_distance(img, gt))
+        return EvalResult(
+            psnr=float(np.mean(psnrs)),
+            ssim=float(np.mean(ssims)),
+            lpips_proxy=float(np.mean(lpips)),
+            num_views=len(cameras),
+        )

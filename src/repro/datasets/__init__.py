@@ -1,0 +1,27 @@
+"""Scene data: synthetic generation, paper-scene registry, workload traces."""
+
+from .pointcloud import mean_knn_distance
+from .registry import PAPER_AVG_ACTIVE_RATIO, SCENES, SceneSpec, all_scenes, get_scene
+from .synthetic import (
+    SyntheticScene,
+    SyntheticSceneConfig,
+    build_scene,
+    generate_point_cloud,
+)
+from .workload import WorkloadTrace, measure_trace, synthesize_trace
+
+__all__ = [
+    "PAPER_AVG_ACTIVE_RATIO",
+    "SCENES",
+    "SceneSpec",
+    "SyntheticScene",
+    "SyntheticSceneConfig",
+    "WorkloadTrace",
+    "all_scenes",
+    "build_scene",
+    "generate_point_cloud",
+    "get_scene",
+    "mean_knn_distance",
+    "measure_trace",
+    "synthesize_trace",
+]

@@ -1,0 +1,202 @@
+"""COLMAP text-format ingestion — the real 3DGS input pipeline.
+
+3DGS training sessions (including every dataset in the paper's Table 2)
+start from a COLMAP Structure-from-Motion reconstruction: ``cameras.txt``
+(intrinsics), ``images.txt`` (per-image poses), ``points3D.txt`` (sparse
+colored cloud). This module parses that layout into :class:`Camera` and
+point-cloud arrays, and can write it back, so synthetic captures generated
+here are interchangeable with real SfM outputs.
+
+Supported camera models: ``PINHOLE`` (fx fy cx cy) and
+``SIMPLE_PINHOLE`` (f cx cy).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cameras.camera import Camera
+from ..gaussians.quaternion import normalize, to_rotation_matrix
+
+
+@dataclass
+class ColmapScene:
+    """A parsed COLMAP reconstruction.
+
+    Attributes:
+        cameras: one calibrated :class:`Camera` per registered image, in
+            ``images.txt`` order.
+        image_names: file names aligned with ``cameras``.
+        points: sparse cloud positions, ``(P, 3)``.
+        colors: per-point RGB in [0, 1], ``(P, 3)``.
+    """
+
+    cameras: list[Camera]
+    image_names: list[str]
+    points: np.ndarray
+    colors: np.ndarray
+
+
+def _strip_comments(path: str) -> list[str]:
+    with open(path) as f:
+        return [
+            line.strip()
+            for line in f
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+
+
+def _parse_intrinsics(path: str) -> dict[int, tuple]:
+    intrinsics = {}
+    for line in _strip_comments(path):
+        parts = line.split()
+        cam_id = int(parts[0])
+        model = parts[1]
+        width, height = int(parts[2]), int(parts[3])
+        params = [float(p) for p in parts[4:]]
+        if model == "PINHOLE":
+            fx, fy, cx, cy = params[:4]
+        elif model == "SIMPLE_PINHOLE":
+            fx = fy = params[0]
+            cx, cy = params[1], params[2]
+        else:
+            raise ValueError(f"unsupported COLMAP camera model {model!r}")
+        intrinsics[cam_id] = (width, height, fx, fy, cx, cy)
+    return intrinsics
+
+
+def load_colmap(
+    directory: str, near: float = 0.01, far: float = 1000.0
+) -> ColmapScene:
+    """Parse ``cameras.txt``, ``images.txt``, and ``points3D.txt``.
+
+    Args:
+        directory: folder holding the three text files.
+        near, far: clipping planes assigned to every camera.
+    """
+    intrinsics = _parse_intrinsics(os.path.join(directory, "cameras.txt"))
+
+    cameras: list[Camera] = []
+    names: list[str] = []
+    # images.txt alternates pose lines and 2D-feature lines (the feature
+    # line may be empty, so empties must be preserved for the alternation)
+    with open(os.path.join(directory, "images.txt")) as f:
+        lines = [
+            line.rstrip("\n")
+            for line in f
+            if not line.lstrip().startswith("#")
+        ]
+    while lines and not lines[-1].strip():
+        lines.pop()
+    for pose_line in lines[0::2]:
+        parts = pose_line.split()
+        qw, qx, qy, qz = (float(v) for v in parts[1:5])
+        tx, ty, tz = (float(v) for v in parts[5:8])
+        cam_id = int(parts[8])
+        name = parts[9] if len(parts) > 9 else f"image_{len(names)}"
+        width, height, fx, fy, cx, cy = intrinsics[cam_id]
+        rot = to_rotation_matrix(
+            normalize(np.array([[qw, qx, qy, qz]], dtype=np.float64))
+        )[0]
+        cameras.append(
+            Camera(
+                width=width, height=height, fx=fx, fy=fy, cx=cx, cy=cy,
+                world_to_cam_rot=rot,
+                world_to_cam_trans=np.array([tx, ty, tz]),
+                near=near, far=far,
+            )
+        )
+        names.append(name)
+
+    pts, cols = [], []
+    points_path = os.path.join(directory, "points3D.txt")
+    if os.path.exists(points_path):
+        for line in _strip_comments(points_path):
+            parts = line.split()
+            pts.append([float(v) for v in parts[1:4]])
+            cols.append([int(v) / 255.0 for v in parts[4:7]])
+    points = np.asarray(pts, dtype=np.float64).reshape(-1, 3)
+    colors = np.asarray(cols, dtype=np.float64).reshape(-1, 3)
+    return ColmapScene(
+        cameras=cameras, image_names=names, points=points, colors=colors
+    )
+
+
+def write_colmap(
+    directory: str,
+    cameras: list[Camera],
+    points: np.ndarray,
+    colors: np.ndarray,
+    image_names: list[str] | None = None,
+) -> None:
+    """Write a reconstruction in COLMAP text format (PINHOLE model).
+
+    Rotations are exported via the world-to-camera matrix converted to a
+    quaternion; round-trips through :func:`load_colmap` reproduce the
+    original cameras to float precision.
+    """
+    os.makedirs(directory, exist_ok=True)
+    if image_names is None:
+        image_names = [f"img_{i:05d}.png" for i in range(len(cameras))]
+
+    with open(os.path.join(directory, "cameras.txt"), "w") as f:
+        f.write("# Camera list: CAMERA_ID MODEL WIDTH HEIGHT PARAMS[]\n")
+        for i, cam in enumerate(cameras, start=1):
+            f.write(
+                f"{i} PINHOLE {cam.width} {cam.height} "
+                f"{cam.fx:.10g} {cam.fy:.10g} {cam.cx:.10g} {cam.cy:.10g}\n"
+            )
+
+    with open(os.path.join(directory, "images.txt"), "w") as f:
+        f.write("# Image list: IMAGE_ID QW QX QY QZ TX TY TZ CAMERA_ID NAME\n")
+        for i, (cam, name) in enumerate(zip(cameras, image_names), start=1):
+            qw, qx, qy, qz = _rotation_to_quat(cam.world_to_cam_rot)
+            t = cam.world_to_cam_trans
+            f.write(
+                f"{i} {qw:.10g} {qx:.10g} {qy:.10g} {qz:.10g} "
+                f"{t[0]:.10g} {t[1]:.10g} {t[2]:.10g} {i} {name}\n"
+            )
+            f.write("\n")  # empty 2D-feature line
+
+    with open(os.path.join(directory, "points3D.txt"), "w") as f:
+        f.write("# 3D point list: POINT3D_ID X Y Z R G B ERROR TRACK[]\n")
+        for i, (p, c) in enumerate(zip(points, colors), start=1):
+            rgb = np.clip(np.round(np.asarray(c) * 255), 0, 255).astype(int)
+            f.write(
+                f"{i} {p[0]:.10g} {p[1]:.10g} {p[2]:.10g} "
+                f"{rgb[0]} {rgb[1]} {rgb[2]} 0.0\n"
+            )
+
+
+def _rotation_to_quat(rot: np.ndarray) -> tuple[float, float, float, float]:
+    """Rotation matrix -> (w, x, y, z) quaternion (Shepperd's method)."""
+    m = rot
+    trace = m[0, 0] + m[1, 1] + m[2, 2]
+    if trace > 0:
+        s = 2.0 * np.sqrt(trace + 1.0)
+        w = 0.25 * s
+        x = (m[2, 1] - m[1, 2]) / s
+        y = (m[0, 2] - m[2, 0]) / s
+        z = (m[1, 0] - m[0, 1]) / s
+    elif m[0, 0] > m[1, 1] and m[0, 0] > m[2, 2]:
+        s = 2.0 * np.sqrt(1.0 + m[0, 0] - m[1, 1] - m[2, 2])
+        w = (m[2, 1] - m[1, 2]) / s
+        x = 0.25 * s
+        y = (m[0, 1] + m[1, 0]) / s
+        z = (m[0, 2] + m[2, 0]) / s
+    elif m[1, 1] > m[2, 2]:
+        s = 2.0 * np.sqrt(1.0 + m[1, 1] - m[0, 0] - m[2, 2])
+        w = (m[0, 2] - m[2, 0]) / s
+        x = (m[0, 1] + m[1, 0]) / s
+        y = 0.25 * s
+        z = (m[1, 2] + m[2, 1]) / s
+    else:
+        s = 2.0 * np.sqrt(1.0 + m[2, 2] - m[0, 0] - m[1, 1])
+        w = (m[1, 0] - m[0, 1]) / s
+        x = (m[0, 2] + m[2, 0]) / s
+        y = (m[1, 2] + m[2, 1]) / s
+        z = 0.25 * s
+    return float(w), float(x), float(y), float(z)

@@ -1,0 +1,30 @@
+"""Point-cloud helpers used for Gaussian initialization (SfM substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+def mean_knn_distance(points: np.ndarray, k: int = 3) -> np.ndarray:
+    """Mean distance from each point to its ``k`` nearest neighbors.
+
+    Used by the 3DGS initialization recipe to pick per-Gaussian scales.
+
+    Args:
+        points: ``(N, 3)`` positions.
+        k: number of neighbors (excluding the point itself).
+
+    Returns:
+        ``(N,)`` array of mean neighbor distances. For clouds with fewer than
+        ``k + 1`` points, uses as many neighbors as exist; a single point
+        gets distance 1.0.
+    """
+    n = points.shape[0]
+    if n == 1:
+        return np.ones(1, dtype=points.dtype)
+    k_eff = min(k, n - 1)
+    tree = cKDTree(points)
+    # query returns the point itself at distance 0 in column 0
+    dists, _ = tree.query(points, k=k_eff + 1)
+    return np.asarray(dists[:, 1:].mean(axis=1))

@@ -1,0 +1,122 @@
+"""Per-view workload traces: how many Gaussians each training view touches.
+
+The performance model's inputs are per-iteration active-Gaussian counts.
+Two sources produce them:
+
+* :func:`measure_trace` runs real frustum culling over a (synthetic) scene —
+  exact, but bounded by what fits in RAM.
+* :func:`synthesize_trace` draws ratios from a calibrated lognormal around a
+  :class:`~repro.datasets.registry.SceneSpec`'s Figure-4 statistics — this
+  is how paper-scale scenes (tens of millions of Gaussians) are driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cameras import Camera
+from ..gaussians import GaussianModel
+from ..render import frustum_cull
+from .registry import SceneSpec
+
+
+@dataclass
+class WorkloadTrace:
+    """Sequence of per-view active ratios for one scene.
+
+    Attributes:
+        scene_name: label.
+        total_gaussians: N at measurement time.
+        active_ratios: fraction of Gaussians visible per view, ``(V,)``.
+    """
+
+    scene_name: str
+    total_gaussians: int
+    active_ratios: np.ndarray
+
+    @property
+    def num_views(self) -> int:
+        """Number of views in the trace."""
+        return len(self.active_ratios)
+
+    @property
+    def avg_ratio(self) -> float:
+        """Mean active ratio (the Figure 4 statistic)."""
+        return float(np.mean(self.active_ratios))
+
+    @property
+    def peak_ratio(self) -> float:
+        """Worst-case active ratio (binds peak memory, Challenge 3)."""
+        return float(np.max(self.active_ratios))
+
+    def active_counts(self) -> np.ndarray:
+        """Active Gaussian counts per view."""
+        return np.round(self.active_ratios * self.total_gaussians).astype(int)
+
+    def clipped(self, mem_limit: float) -> "WorkloadTrace":
+        """Trace after balance-aware image splitting with ``mem_limit``.
+
+        Views whose ratio exceeds ``mem_limit`` are processed as
+        ``ceil(ratio / mem_limit)`` balanced sub-views (Section 4.4; two
+        sufficed in the paper's benchmarks), so the per-pass staged
+        fraction drops to ``ratio / splits``.
+        """
+        ratios = self.active_ratios.copy()
+        over = ratios > mem_limit
+        splits = np.ceil(ratios[over] / mem_limit)
+        ratios[over] = ratios[over] / splits
+        return WorkloadTrace(
+            scene_name=self.scene_name,
+            total_gaussians=self.total_gaussians,
+            active_ratios=ratios,
+        )
+
+
+def measure_trace(
+    model: GaussianModel, cameras: list[Camera], scene_name: str = "measured"
+) -> WorkloadTrace:
+    """Exact workload trace via frustum culling every camera."""
+    ratios = np.empty(len(cameras))
+    for i, cam in enumerate(cameras):
+        res = frustum_cull(model.means, model.log_scales, model.quats, cam)
+        ratios[i] = res.active_ratio
+    return WorkloadTrace(
+        scene_name=scene_name,
+        total_gaussians=model.num_gaussians,
+        active_ratios=ratios,
+    )
+
+
+def synthesize_trace(
+    spec: SceneSpec,
+    num_views: int | None = None,
+    seed: int = 0,
+    use_small: bool = False,
+) -> WorkloadTrace:
+    """Stochastic trace matching a registry scene's Figure-4 statistics.
+
+    Ratios are lognormal with the spec's mean, right-tail calibrated so the
+    maximum over an epoch lands near ``spec.peak_active_ratio`` (the paper's
+    Challenge 3: one far viewpoint dominates peak memory).
+    """
+    if num_views is None:
+        num_views = spec.num_train_images
+    total = spec.small_total_gaussians if use_small else spec.total_gaussians
+    if total is None:
+        raise ValueError(f"scene {spec.name} has no small variant")
+    rng = np.random.default_rng(seed)
+
+    mean = spec.avg_active_ratio
+    peak = spec.peak_active_ratio
+    # lognormal: choose sigma so that the ~99.9th percentile hits the peak
+    sigma = np.log(peak / mean) / 3.1 if peak > mean else 0.1
+    mu = np.log(mean) - 0.5 * sigma**2
+    ratios = rng.lognormal(mean=mu, sigma=sigma, size=num_views)
+    ratios = np.clip(ratios, mean * 0.2, peak)
+    # pin the epoch's worst view at the spec's peak (deterministic anchor)
+    ratios[rng.integers(num_views)] = peak
+    return WorkloadTrace(
+        scene_name=spec.name, total_gaussians=total, active_ratios=ratios
+    )

@@ -1,0 +1,5 @@
+"""Adaptive density control for 3DGS training."""
+
+from .controller import DensificationController, DensifyConfig, DensifyReport
+
+__all__ = ["DensificationController", "DensifyConfig", "DensifyReport"]

@@ -1,0 +1,94 @@
+"""Command-line regeneration of every paper table and figure.
+
+``python -m repro.figures`` runs all experiments and writes their reports
+to ``benchmarks/out/`` (the same code paths the pytest benches execute,
+without the pytest machinery). ``python -m repro.figures fig11 fig12``
+selects a subset.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+#: Experiment id -> (bench module, builder entry points to run).
+EXPERIMENTS = {
+    "table1": ("bench_table1_platforms", ["build_table"]),
+    "table2": ("bench_table2_scenes", ["build_table"]),
+    "fig01": ("bench_fig01_max_quality", ["build_table"]),
+    "fig03": ("bench_fig03_motivation", ["build_fig3a", "build_fig3b"]),
+    "fig04": ("bench_fig04_active_ratio", ["build_registry_table"]),
+    "fig07": ("bench_fig07_breakdown", ["build_table"]),
+    "fig09": ("bench_fig09_timeline", ["build_timelines"]),
+    "fig11": ("bench_fig11_throughput", ["build_all"]),
+    "fig12": ("bench_fig12_memory", ["build_table"]),
+    "fig13": ("bench_fig13_quality_scaling", ["build_model_curves"]),
+    "fig14": ("bench_fig14_server", ["build_table"]),
+    "fig15": ("bench_fig15_sensitivity", ["build_mem_limit_tables",
+                                          "build_gpu_table"]),
+    "fig16": ("bench_fig16_resolution", ["build_tables"]),
+}
+
+
+def _load_bench_module(name: str):
+    """Import a bench module from the repository's benchmarks/ directory."""
+    import os
+
+    bench_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+        "benchmarks",
+    )
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    return importlib.import_module(name)
+
+
+def _render(result) -> list[str]:
+    """Pull printable tables/strings out of a builder's return value."""
+    from .bench.harness import Table
+
+    out = []
+    if isinstance(result, Table):
+        out.append(result.render())
+    elif isinstance(result, str):
+        out.append(result)
+    elif isinstance(result, (tuple, list)):
+        for item in result:
+            out.extend(_render(item))
+    elif isinstance(result, dict):
+        for item in result.values():
+            out.extend(_render(item))
+    return out
+
+
+def run(experiment_ids: list[str] | None = None) -> int:
+    """Regenerate the selected experiments (all by default)."""
+    ids = experiment_ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    for exp in ids:
+        module_name, builders = EXPERIMENTS[exp]
+        module = _load_bench_module(module_name)
+        chunks = []
+        for builder in builders:
+            result = getattr(module, builder)()
+            chunks.extend(_render(result))
+        text = "\n\n".join(chunks)
+        # persist through the same report channel the benches use
+        from .bench.harness import output_dir
+        import os
+
+        path = os.path.join(output_dir(), f"{exp}_cli.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print(f"=== {exp} ===")
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:] or None))

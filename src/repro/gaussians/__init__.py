@@ -1,0 +1,6 @@
+"""Gaussian primitive substrate: parameter layout, SH, covariance, model."""
+
+from . import covariance, layout, quaternion, sh
+from .model import GaussianModel
+
+__all__ = ["GaussianModel", "covariance", "layout", "quaternion", "sh"]

@@ -1,0 +1,183 @@
+"""Structure-of-arrays container for a set of trainable 3D Gaussians."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import layout
+
+
+class GaussianModel:
+    """All trainable parameters of a 3DGS scene, stored as one packed array.
+
+    Parameters live in a single ``(N, 59)`` float array (see
+    :mod:`repro.gaussians.layout` for the column layout). Attribute views
+    (``means``, ``log_scales``, ``quats``, ``opacity_logits``, ``sh``) are
+    numpy views into that array, so in-place updates through either interface
+    stay consistent — this mirrors how GS-Scale treats the parameter store as
+    one flat buffer that can be split between host and device.
+    """
+
+    def __init__(self, params: np.ndarray):
+        params = np.ascontiguousarray(params)
+        if params.ndim != 2 or params.shape[1] != layout.PARAM_DIM:
+            raise ValueError(
+                f"params must have shape (N, {layout.PARAM_DIM}), got {params.shape}"
+            )
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_attributes(
+        cls,
+        means: np.ndarray,
+        log_scales: np.ndarray,
+        quats: np.ndarray,
+        opacity_logits: np.ndarray,
+        sh: np.ndarray,
+        dtype=np.float32,
+    ) -> "GaussianModel":
+        """Assemble a model from separate per-attribute arrays.
+
+        ``sh`` may be given as ``(N, 48)`` or ``(N, 16, 3)``.
+        """
+        n = means.shape[0]
+        params = np.empty((n, layout.PARAM_DIM), dtype=dtype)
+        params[:, layout.MEAN_SLICE] = means
+        params[:, layout.SCALE_SLICE] = log_scales
+        params[:, layout.QUAT_SLICE] = quats
+        params[:, layout.OPACITY_SLICE] = np.reshape(opacity_logits, (n, 1))
+        params[:, layout.SH_SLICE] = np.reshape(sh, (n, layout.SH_DIM))
+        return cls(params)
+
+    @classmethod
+    def from_point_cloud(
+        cls,
+        points: np.ndarray,
+        colors: np.ndarray,
+        initial_opacity: float = 0.1,
+        scale_multiplier: float = 1.0,
+        dtype=np.float32,
+    ) -> "GaussianModel":
+        """Initialize Gaussians from an SfM-style colored point cloud.
+
+        Follows the 3DGS recipe (Section 2.4): isotropic scales set from the
+        mean distance to the 3 nearest neighbors, identity rotations, a low
+        uniform opacity, and DC SH coefficients matching the point colors.
+
+        Args:
+            points: ``(N, 3)`` positions.
+            colors: ``(N, 3)`` RGB in ``[0, 1]``.
+            initial_opacity: initial opacity after sigmoid.
+            scale_multiplier: multiplier on the nearest-neighbor scale.
+        """
+        from ..datasets.pointcloud import mean_knn_distance
+        from .sh import C0
+
+        n = points.shape[0]
+        dists = mean_knn_distance(points, k=3)
+        log_scales = np.log(np.maximum(dists * scale_multiplier, 1e-7))
+        quats = np.zeros((n, 4))
+        quats[:, 0] = 1.0
+        opacity_logits = np.full(
+            (n,), float(np.log(initial_opacity / (1.0 - initial_opacity)))
+        )
+        sh = np.zeros((n, layout.SH_COEFFS_PER_CHANNEL, 3))
+        sh[:, 0, :] = (colors - 0.5) / C0
+        return cls.from_attributes(
+            means=points,
+            log_scales=np.repeat(log_scales[:, None], 3, axis=1),
+            quats=quats,
+            opacity_logits=opacity_logits,
+            sh=sh,
+            dtype=dtype,
+        )
+
+    # ------------------------------------------------------------------
+    # attribute views
+    # ------------------------------------------------------------------
+    @property
+    def num_gaussians(self) -> int:
+        """Number of Gaussians ``N``."""
+        return self.params.shape[0]
+
+    def __len__(self) -> int:
+        return self.num_gaussians
+
+    @property
+    def dtype(self):
+        """Floating dtype of the parameter store."""
+        return self.params.dtype
+
+    @property
+    def means(self) -> np.ndarray:
+        """World-space centers, view of shape ``(N, 3)``."""
+        return self.params[:, layout.MEAN_SLICE]
+
+    @property
+    def log_scales(self) -> np.ndarray:
+        """Log extents, view of shape ``(N, 3)``."""
+        return self.params[:, layout.SCALE_SLICE]
+
+    @property
+    def quats(self) -> np.ndarray:
+        """Raw quaternions, view of shape ``(N, 4)``."""
+        return self.params[:, layout.QUAT_SLICE]
+
+    @property
+    def opacity_logits(self) -> np.ndarray:
+        """Opacity logits, view of shape ``(N, 1)``."""
+        return self.params[:, layout.OPACITY_SLICE]
+
+    @property
+    def sh(self) -> np.ndarray:
+        """SH coefficients as a reshaped copy-free view ``(N, 16, 3)``."""
+        return self.params[:, layout.SH_SLICE].reshape(
+            self.num_gaussians, layout.SH_COEFFS_PER_CHANNEL, 3
+        )
+
+    @property
+    def geometric(self) -> np.ndarray:
+        """Geometric attribute block (mean+scale+quat), view ``(N, 10)``."""
+        return self.params[:, layout.GEOMETRIC_SLICE]
+
+    @property
+    def non_geometric(self) -> np.ndarray:
+        """Non-geometric block (opacity+SH), view ``(N, 49)``."""
+        return self.params[:, layout.NON_GEOMETRIC_SLICE]
+
+    @property
+    def opacities(self) -> np.ndarray:
+        """Activated opacities ``sigmoid(logit)``, shape ``(N,)`` (copy)."""
+        logits = self.opacity_logits[:, 0]
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    @property
+    def scales(self) -> np.ndarray:
+        """Activated scales ``exp(log_scale)``, shape ``(N, 3)`` (copy)."""
+        return np.exp(self.log_scales)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def copy(self) -> "GaussianModel":
+        """Deep copy of the model."""
+        return GaussianModel(self.params.copy())
+
+    def select(self, indices: np.ndarray) -> "GaussianModel":
+        """New model with only the Gaussians at ``indices`` (copy)."""
+        return GaussianModel(self.params[indices].copy())
+
+    def append(self, other: "GaussianModel") -> "GaussianModel":
+        """New model concatenating ``self`` and ``other`` (copy)."""
+        return GaussianModel(np.concatenate([self.params, other.params], axis=0))
+
+    def astype(self, dtype) -> "GaussianModel":
+        """New model with the parameter store cast to ``dtype``."""
+        return GaussianModel(self.params.astype(dtype))
+
+    def state_bytes(self) -> int:
+        """Bytes of the full training state at float32 (Section 3.1)."""
+        return layout.train_state_bytes(self.num_gaussians)

@@ -1,0 +1,187 @@
+"""Real spherical harmonics up to degree 3, with analytic gradients.
+
+The basis and constants follow the 3DGS/gsplat convention: colors are
+``clip(sum_k basis_k(dir) * coeff_k + 0.5, 0, inf)`` where ``dir`` is the
+unit vector from the camera center to the Gaussian mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import SH_DEGREE
+
+C0 = 0.28209479177387814
+C1 = 0.4886025119029199
+C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+C3 = (
+    -0.5900435899266435,
+    2.890611442640554,
+    -0.4570457994644658,
+    0.3731763325901154,
+    -0.4570457994644658,
+    1.445305721320277,
+    -0.5900435899266435,
+)
+
+#: Constant color offset added to the SH evaluation (3DGS convention).
+SH_COLOR_OFFSET = 0.5
+
+
+def num_coeffs(degree: int) -> int:
+    """Number of SH coefficients per channel for ``degree``."""
+    if not 0 <= degree <= SH_DEGREE:
+        raise ValueError(f"SH degree must be in [0, {SH_DEGREE}], got {degree}")
+    return (degree + 1) ** 2
+
+
+def basis(dirs: np.ndarray, degree: int = SH_DEGREE) -> np.ndarray:
+    """Evaluate the real SH basis at unit directions.
+
+    Args:
+        dirs: unit direction vectors, shape ``(N, 3)``.
+        degree: maximum SH degree (0..3).
+
+    Returns:
+        Basis values, shape ``(N, (degree+1)**2)``.
+    """
+    n = num_coeffs(degree)
+    x, y, z = dirs[..., 0], dirs[..., 1], dirs[..., 2]
+    out = np.empty(dirs.shape[:-1] + (n,), dtype=dirs.dtype)
+    out[..., 0] = C0
+    if degree >= 1:
+        out[..., 1] = -C1 * y
+        out[..., 2] = C1 * z
+        out[..., 3] = -C1 * x
+    if degree >= 2:
+        xx, yy, zz = x * x, y * y, z * z
+        out[..., 4] = C2[0] * x * y
+        out[..., 5] = C2[1] * y * z
+        out[..., 6] = C2[2] * (2 * zz - xx - yy)
+        out[..., 7] = C2[3] * x * z
+        out[..., 8] = C2[4] * (xx - yy)
+    if degree >= 3:
+        out[..., 9] = C3[0] * y * (3 * xx - yy)
+        out[..., 10] = C3[1] * x * y * z
+        out[..., 11] = C3[2] * y * (4 * zz - xx - yy)
+        out[..., 12] = C3[3] * z * (2 * zz - 3 * xx - 3 * yy)
+        out[..., 13] = C3[4] * x * (4 * zz - xx - yy)
+        out[..., 14] = C3[5] * z * (xx - yy)
+        out[..., 15] = C3[6] * x * (xx - 3 * yy)
+    return out
+
+
+def basis_jacobian(dirs: np.ndarray, degree: int = SH_DEGREE) -> np.ndarray:
+    """Partial derivatives of :func:`basis` w.r.t. the direction components.
+
+    Args:
+        dirs: unit direction vectors, shape ``(N, 3)``.
+        degree: maximum SH degree (0..3).
+
+    Returns:
+        Jacobian of shape ``(N, (degree+1)**2, 3)`` where ``[..., k, a]`` is
+        ``d basis_k / d dir_a`` treating ``dir`` components as free variables
+        (normalization is the caller's responsibility to chain through).
+    """
+    n = num_coeffs(degree)
+    x, y, z = dirs[..., 0], dirs[..., 1], dirs[..., 2]
+    jac = np.zeros(dirs.shape[:-1] + (n, 3), dtype=dirs.dtype)
+    if degree >= 1:
+        jac[..., 1, 1] = -C1
+        jac[..., 2, 2] = C1
+        jac[..., 3, 0] = -C1
+    if degree >= 2:
+        jac[..., 4, 0] = C2[0] * y
+        jac[..., 4, 1] = C2[0] * x
+        jac[..., 5, 1] = C2[1] * z
+        jac[..., 5, 2] = C2[1] * y
+        jac[..., 6, 0] = C2[2] * (-2 * x)
+        jac[..., 6, 1] = C2[2] * (-2 * y)
+        jac[..., 6, 2] = C2[2] * (4 * z)
+        jac[..., 7, 0] = C2[3] * z
+        jac[..., 7, 2] = C2[3] * x
+        jac[..., 8, 0] = C2[4] * (2 * x)
+        jac[..., 8, 1] = C2[4] * (-2 * y)
+    if degree >= 3:
+        xx, yy, zz = x * x, y * y, z * z
+        jac[..., 9, 0] = C3[0] * (6 * x * y)
+        jac[..., 9, 1] = C3[0] * (3 * xx - 3 * yy)
+        jac[..., 10, 0] = C3[1] * (y * z)
+        jac[..., 10, 1] = C3[1] * (x * z)
+        jac[..., 10, 2] = C3[1] * (x * y)
+        jac[..., 11, 0] = C3[2] * (-2 * x * y)
+        jac[..., 11, 1] = C3[2] * (4 * zz - xx - 3 * yy)
+        jac[..., 11, 2] = C3[2] * (8 * y * z)
+        jac[..., 12, 0] = C3[3] * (-6 * x * z)
+        jac[..., 12, 1] = C3[3] * (-6 * y * z)
+        jac[..., 12, 2] = C3[3] * (6 * zz - 3 * xx - 3 * yy)
+        jac[..., 13, 0] = C3[4] * (4 * zz - 3 * xx - yy)
+        jac[..., 13, 1] = C3[4] * (-2 * x * y)
+        jac[..., 13, 2] = C3[4] * (8 * x * z)
+        jac[..., 14, 0] = C3[5] * (2 * x * z)
+        jac[..., 14, 1] = C3[5] * (-2 * y * z)
+        jac[..., 14, 2] = C3[5] * (xx - yy)
+        jac[..., 15, 0] = C3[6] * (3 * xx - 3 * yy)
+        jac[..., 15, 1] = C3[6] * (-6 * x * y)
+    return jac
+
+
+def eval_colors(
+    sh_coeffs: np.ndarray, dirs: np.ndarray, degree: int = SH_DEGREE
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate RGB colors from SH coefficients and view directions.
+
+    Args:
+        sh_coeffs: coefficients, shape ``(N, 16, 3)`` (coefficients beyond
+            ``(degree+1)**2`` are ignored).
+        dirs: unit view directions, shape ``(N, 3)``.
+        degree: active SH degree.
+
+    Returns:
+        ``(colors, clamp_mask)``: colors ``(N, 3)`` clamped to ``>= 0`` and a
+        boolean mask ``(N, 3)`` that is True where the clamp was *not* active
+        (i.e. where gradients flow).
+    """
+    n = num_coeffs(degree)
+    b = basis(dirs, degree)
+    raw = np.einsum("nk,nkc->nc", b, sh_coeffs[:, :n, :]) + SH_COLOR_OFFSET
+    clamp_mask = raw > 0
+    return np.maximum(raw, 0.0), clamp_mask
+
+
+def eval_colors_backward(
+    sh_coeffs: np.ndarray,
+    dirs: np.ndarray,
+    clamp_mask: np.ndarray,
+    grad_colors: np.ndarray,
+    degree: int = SH_DEGREE,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Backpropagate through :func:`eval_colors`.
+
+    Args:
+        sh_coeffs: coefficients used in the forward pass, ``(N, 16, 3)``.
+        dirs: unit view directions from the forward pass, ``(N, 3)``.
+        clamp_mask: mask returned by :func:`eval_colors`.
+        grad_colors: gradient w.r.t. the clamped colors, ``(N, 3)``.
+        degree: active SH degree.
+
+    Returns:
+        ``(grad_coeffs, grad_dirs)`` with shapes ``(N, 16, 3)`` and
+        ``(N, 3)``. ``grad_dirs`` is the gradient w.r.t. the *unnormalized*
+        direction components (chain through normalization separately).
+    """
+    n = num_coeffs(degree)
+    g = np.where(clamp_mask, grad_colors, 0.0)
+    b = basis(dirs, degree)
+    grad_coeffs = np.zeros_like(sh_coeffs)
+    grad_coeffs[:, :n, :] = b[:, :, None] * g[:, None, :]
+    jac = basis_jacobian(dirs, degree)  # (N, n, 3)
+    coeff_dot_g = np.einsum("nkc,nc->nk", sh_coeffs[:, :n, :], g)  # (N, n)
+    grad_dirs = np.einsum("nk,nka->na", coeff_dot_g, jac)
+    return grad_coeffs, grad_dirs

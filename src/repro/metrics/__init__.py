@@ -1,0 +1,7 @@
+"""Rendering-quality metrics: PSNR, SSIM (with gradient), LPIPS-proxy."""
+
+from .perceptual import perceptual_distance
+from .psnr import psnr
+from .ssim import ssim, ssim_with_grad
+
+__all__ = ["perceptual_distance", "psnr", "ssim", "ssim_with_grad"]

@@ -1,0 +1,87 @@
+"""Deterministic perceptual distance — the offline LPIPS substitute.
+
+The paper reports LPIPS (learned AlexNet features). No pretrained network
+is available offline, so this module implements a multi-scale random-
+projection distance: fixed-seed random 3x3 convolution banks extract
+features at several pyramid levels, feature maps are channel-normalized
+(as LPIPS normalizes its activations), and the mean squared difference is
+averaged across scales. The measure is deterministic, zero for identical
+images, symmetric, and — like LPIPS — decreases monotonically as a render
+approaches the reference, which is the property Figures 1 and 13 rely on.
+Reported throughout as "LPIPS-proxy".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import convolve
+
+_FEATURE_SEED = 20260610
+_NUM_FILTERS = 12
+_SCALES = 3
+
+
+def _filter_bank(num_filters: int, in_channels: int = 3) -> np.ndarray:
+    """Fixed random 3x3 filters, zero-mean and unit-norm per filter."""
+    rng = np.random.default_rng(_FEATURE_SEED)
+    bank = rng.normal(size=(num_filters, in_channels, 3, 3))
+    bank -= bank.mean(axis=(1, 2, 3), keepdims=True)
+    bank /= np.linalg.norm(bank.reshape(num_filters, -1), axis=1)[
+        :, None, None, None
+    ]
+    return bank
+
+
+_BANK = _filter_bank(_NUM_FILTERS)
+
+
+def _features(image: np.ndarray) -> np.ndarray:
+    """Channel-normalized random-projection feature maps, ``(H, W, F)``."""
+    feats = np.empty(image.shape[:2] + (_NUM_FILTERS,), dtype=np.float64)
+    for f in range(_NUM_FILTERS):
+        acc = np.zeros(image.shape[:2], dtype=np.float64)
+        for c in range(image.shape[2]):
+            acc += convolve(image[:, :, c], _BANK[f, c], mode="nearest")
+        feats[:, :, f] = acc
+    norms = np.linalg.norm(feats, axis=2, keepdims=True)
+    return feats / np.maximum(norms, 1e-10)
+
+
+def _downsample(image: np.ndarray) -> np.ndarray:
+    """2x average pooling (trims odd edges)."""
+    h, w = image.shape[:2]
+    h2, w2 = h // 2, w // 2
+    trimmed = image[: h2 * 2, : w2 * 2]
+    return 0.25 * (
+        trimmed[0::2, 0::2]
+        + trimmed[1::2, 0::2]
+        + trimmed[0::2, 1::2]
+        + trimmed[1::2, 1::2]
+    )
+
+
+def perceptual_distance(image: np.ndarray, reference: np.ndarray) -> float:
+    """LPIPS-proxy distance between two ``(H, W, 3)`` images in [0, 1].
+
+    Lower is better; 0 for identical inputs.
+    """
+    if image.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {image.shape} vs {reference.shape}")
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("expected (H, W, 3) images")
+    x = np.asarray(image, dtype=np.float64)
+    y = np.asarray(reference, dtype=np.float64)
+    total = 0.0
+    scales = 0
+    for _ in range(_SCALES):
+        if min(x.shape[:2]) < 4:
+            break
+        fx = _features(x)
+        fy = _features(y)
+        total += float(np.mean((fx - fy) ** 2))
+        scales += 1
+        x = _downsample(x)
+        y = _downsample(y)
+    if scales == 0:
+        raise ValueError("image too small for perceptual distance (min side 4)")
+    return total / scales

@@ -1,0 +1,24 @@
+"""Peak signal-to-noise ratio."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def psnr(image: np.ndarray, reference: np.ndarray, data_range: float = 1.0) -> float:
+    """PSNR in dB between two images of the same shape.
+
+    Args:
+        image: rendered image.
+        reference: ground-truth image.
+        data_range: dynamic range of the data (1.0 for float images).
+
+    Returns:
+        PSNR in dB; ``inf`` for identical images.
+    """
+    if image.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {image.shape} vs {reference.shape}")
+    mse = float(np.mean((np.asarray(image, dtype=np.float64) - reference) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / mse))

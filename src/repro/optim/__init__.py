@@ -1,0 +1,23 @@
+"""Optimizers: dense Adam/SGD references and the deferred variants."""
+
+from .adam import DenseAdam
+from .base import AdamConfig, StepStats, adam_update, float_traffic_bytes
+from .deferred import MAX_DEFER, DeferredAdam
+from .lr_schedule import DEFAULT_LRS, exponential_decay, packed_lr_vector
+from .sgd import DeferredSGD, DenseSGD, SGDConfig
+
+__all__ = [
+    "AdamConfig",
+    "DEFAULT_LRS",
+    "DeferredAdam",
+    "DeferredSGD",
+    "DenseAdam",
+    "DenseSGD",
+    "MAX_DEFER",
+    "SGDConfig",
+    "StepStats",
+    "adam_update",
+    "exponential_decay",
+    "float_traffic_bytes",
+    "packed_lr_vector",
+]

@@ -1,0 +1,60 @@
+"""Per-attribute learning rates and the 3DGS position-lr decay schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gaussians import layout
+
+
+#: 3DGS default learning rates per attribute (position is additionally
+#: scaled by the scene extent and decayed exponentially during training).
+DEFAULT_LRS = {
+    "mean": 1.6e-4,
+    "scale": 5e-3,
+    "quat": 1e-3,
+    "opacity": 5e-2,
+    "sh": 2.5e-3,
+}
+
+#: 3DGS divides the learning rate of the non-DC SH bands by 20.
+SH_REST_DIVISOR = 20.0
+
+
+def packed_lr_vector(
+    scene_extent: float = 1.0,
+    overrides: dict[str, float] | None = None,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Per-column learning-rate vector for the packed 59-param layout.
+
+    Args:
+        scene_extent: world-space scene radius; the position lr scales with
+            it (3DGS convention).
+        overrides: replace the default per-attribute rates.
+    """
+    rates = dict(DEFAULT_LRS)
+    if overrides:
+        unknown = set(overrides) - set(rates)
+        if unknown:
+            raise KeyError(f"unknown attributes in lr overrides: {sorted(unknown)}")
+        rates.update(overrides)
+    lr = np.empty(layout.PARAM_DIM, dtype=dtype)
+    lr[layout.MEAN_SLICE] = rates["mean"] * scene_extent
+    lr[layout.SCALE_SLICE] = rates["scale"]
+    lr[layout.QUAT_SLICE] = rates["quat"]
+    lr[layout.OPACITY_SLICE] = rates["opacity"]
+    sh_lr = np.full(layout.SH_DIM, rates["sh"], dtype=dtype)
+    sh_lr[3:] /= SH_REST_DIVISOR  # bands 1..3 learn slower than DC
+    lr[layout.SH_SLICE] = sh_lr
+    return lr
+
+
+def exponential_decay(
+    step: int, total_steps: int, lr_init: float, lr_final: float
+) -> float:
+    """3DGS position-lr schedule: log-linear interpolation over training."""
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    t = np.clip(step / total_steps, 0.0, 1.0)
+    return float(np.exp((1 - t) * np.log(lr_init) + t * np.log(lr_final)))

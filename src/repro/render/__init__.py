@@ -1,0 +1,25 @@
+"""Differentiable 3DGS renderer: culling, projection, rasterization, backward."""
+
+from . import backward, culling, projection, rasterize, tiles
+from .culling import CullResult, frustum_cull
+from .pipeline import RenderBackwardResult, RenderResult, render, render_backward
+from .rasterize import RasterConfig
+from .tiles import TileBinning, bin_gaussians, rasterize_tiled
+
+__all__ = [
+    "CullResult",
+    "RasterConfig",
+    "RenderBackwardResult",
+    "RenderResult",
+    "TileBinning",
+    "backward",
+    "bin_gaussians",
+    "culling",
+    "frustum_cull",
+    "projection",
+    "rasterize",
+    "rasterize_tiled",
+    "render",
+    "render_backward",
+    "tiles",
+]

@@ -1,0 +1,136 @@
+"""Backward pass of the rasterizer (steps 5-6 of Figure 2).
+
+Traverses splats back-to-front, reconstructing each pixel's pre-splat
+transmittance by division (alphas are capped at 0.99 so the divisor is at
+least 0.01), and accumulates gradients w.r.t. each splat's 2D mean, conic,
+color, and opacity. The suffix-color accumulator technique matches the 3DGS
+CUDA kernel; see ``tests/render/test_gradcheck.py`` for numerical
+verification of the whole chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rasterize import RasterConfig, RasterResult, _splat_alpha
+
+
+@dataclass
+class RasterGrads:
+    """Gradients w.r.t. rasterizer inputs, all in input (unsorted) order.
+
+    Attributes:
+        means2d: ``(M, 2)``.
+        conics: ``(M, 3)`` for the ``(a, b, c)`` triplet.
+        colors: ``(M, 3)``.
+        opacities: ``(M,)``.
+        mean2d_abs: accumulated ``|dL/d means2d|`` per splat, the statistic
+            3DGS densification thresholds on (Section 2.4, step 7).
+    """
+
+    means2d: np.ndarray
+    conics: np.ndarray
+    colors: np.ndarray
+    opacities: np.ndarray
+    mean2d_abs: np.ndarray
+
+
+def rasterize_backward(
+    means2d: np.ndarray,
+    conics: np.ndarray,
+    colors: np.ndarray,
+    opacities: np.ndarray,
+    result: RasterResult,
+    grad_image: np.ndarray,
+    background: np.ndarray | None = None,
+    config: RasterConfig | None = None,
+) -> RasterGrads:
+    """Backpropagate ``dL/d image`` to the rasterizer inputs.
+
+    Args:
+        means2d, conics, colors, opacities: forward inputs.
+        result: forward :class:`RasterResult`.
+        grad_image: gradient w.r.t. the composited image, ``(H, W, 3)``.
+        background: background color used in the forward pass.
+        config: must match the forward configuration.
+    """
+    config = config or RasterConfig()
+    dtype = means2d.dtype
+    height, width = grad_image.shape[:2]
+    if background is None:
+        background = np.zeros(3, dtype=dtype)
+    background = np.asarray(background, dtype=dtype)
+
+    m_count = means2d.shape[0]
+    grads = RasterGrads(
+        means2d=np.zeros((m_count, 2), dtype=dtype),
+        conics=np.zeros((m_count, 3), dtype=dtype),
+        colors=np.zeros((m_count, 3), dtype=dtype),
+        opacities=np.zeros(m_count, dtype=dtype),
+        mean2d_abs=np.zeros(m_count, dtype=dtype),
+    )
+
+    # suffix[p] = sum over splats behind the current one of c_j alpha_j T_j,
+    # plus the background term bg * T_final.
+    suffix = result.final_transmittance[:, :, None] * background
+    t_cur = result.final_transmittance.copy()
+    xs_full = np.arange(width, dtype=dtype) + 0.5
+    ys_full = np.arange(height, dtype=dtype) + 0.5
+
+    for idx in result.order[::-1]:
+        x0, x1, y0, y1 = result.bboxes[idx]
+        if x0 >= x1 or y0 >= y1:
+            continue
+        xs = xs_full[x0:x1]
+        ys = ys_full[y0:y1]
+        alpha = _splat_alpha(
+            means2d[idx], conics[idx], opacities[idx], xs, ys, config
+        )
+        one_minus = 1.0 - alpha
+        t_after = t_cur[y0:y1, x0:x1]
+        t_before = t_after / one_minus
+        g_img = grad_image[y0:y1, x0:x1]  # (h, w, 3)
+        sfx = suffix[y0:y1, x0:x1]
+
+        # dL/dcolor = sum_p dL/dC * alpha * T_before
+        weight = alpha * t_before
+        grads.colors[idx] = np.einsum("hwc,hw->c", g_img, weight)
+
+        # dL/dalpha = (dL/dC . c) T_before - (dL/dC . suffix) / (1 - alpha)
+        gdot_color = g_img @ colors[idx]
+        gdot_suffix = np.einsum("hwc,hwc->hw", g_img, sfx)
+        grad_alpha = gdot_color * t_before - gdot_suffix / one_minus
+
+        # contributions only where the splat actually fired
+        active = alpha > 0
+        capped = alpha >= config.alpha_max
+        grad_alpha = np.where(active, grad_alpha, 0.0)
+
+        g_alpha_free = np.where(capped, 0.0, grad_alpha)
+        # alpha = o * g ; both grads use the uncapped branch only
+        gaussian_val = np.where(
+            active & ~capped, alpha / opacities[idx], 0.0
+        )
+        grads.opacities[idx] = np.sum(g_alpha_free * gaussian_val)
+        # alpha = o * g, g = exp(power): dL/dpower = dL/dalpha * o * g
+        grad_power = g_alpha_free * opacities[idx] * gaussian_val
+
+        dx = xs[None, :] - means2d[idx, 0]
+        dy = ys[:, None] - means2d[idx, 1]
+        a_, b_, c_ = conics[idx]
+        grads.conics[idx, 0] = np.sum(grad_power * (-0.5) * dx * dx)
+        grads.conics[idx, 1] = np.sum(grad_power * (-dx * dy))
+        grads.conics[idx, 2] = np.sum(grad_power * (-0.5) * dy * dy)
+        gmx = np.sum(grad_power * (a_ * dx + b_ * dy))
+        gmy = np.sum(grad_power * (b_ * dx + c_ * dy))
+        grads.means2d[idx, 0] = gmx
+        grads.means2d[idx, 1] = gmy
+        grads.mean2d_abs[idx] = np.hypot(gmx, gmy)
+
+        # roll state back to "before this splat"
+        suffix[y0:y1, x0:x1] = sfx + (weight)[:, :, None] * colors[idx]
+        t_cur[y0:y1, x0:x1] = t_before
+
+    return grads

@@ -1,0 +1,93 @@
+"""Auxiliary render targets: expected depth and alpha (coverage) maps.
+
+Many 3DGS applications (mesh extraction, AR occlusion, the depth term in
+Figure 2's loss box) consume per-pixel depth and opacity alongside color.
+These reuse the projection/culling machinery and composite scalar payloads
+with the same front-to-back weights as the color pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cameras.camera import Camera
+from ..gaussians.model import GaussianModel
+from . import culling, projection
+from .rasterize import RasterConfig, _splat_alpha, splat_bboxes
+
+
+@dataclass
+class DepthAlphaResult:
+    """Per-pixel auxiliary maps.
+
+    Attributes:
+        depth: alpha-weighted expected depth, ``(H, W)``; pixels with no
+            coverage hold 0.
+        alpha: accumulated opacity ``1 - T_final``, ``(H, W)``.
+    """
+
+    depth: np.ndarray
+    alpha: np.ndarray
+
+
+def render_depth_alpha(
+    model: GaussianModel,
+    camera: Camera,
+    valid_ids: np.ndarray | None = None,
+    config: RasterConfig | None = None,
+    normalize: bool = True,
+) -> DepthAlphaResult:
+    """Composite expected-depth and alpha maps for one view.
+
+    Args:
+        model: the Gaussian scene.
+        camera: viewing camera.
+        valid_ids: pre-computed visible set (culled here when ``None``).
+        config: rasterizer thresholds.
+        normalize: divide the depth accumulator by alpha so covered pixels
+            hold metric depth rather than premultiplied depth.
+    """
+    config = config or RasterConfig()
+    if valid_ids is None:
+        valid_ids = culling.frustum_cull(
+            model.means, model.log_scales, model.quats, camera
+        ).valid_ids
+
+    geom, _ = projection.project_geometry(
+        model.means[valid_ids],
+        model.log_scales[valid_ids],
+        model.quats[valid_ids],
+        camera,
+    )
+    logits = model.opacity_logits[valid_ids, 0]
+    opacities = 1.0 / (1.0 + np.exp(-logits))
+
+    height, width = camera.height, camera.width
+    dtype = geom.means2d.dtype
+    depth_acc = np.zeros((height, width), dtype=dtype)
+    transmittance = np.ones((height, width), dtype=dtype)
+    order = np.argsort(geom.depths, kind="stable")
+    bboxes = splat_bboxes(geom.means2d, geom.radii, width, height)
+    xs_full = np.arange(width, dtype=dtype) + 0.5
+    ys_full = np.arange(height, dtype=dtype) + 0.5
+
+    for idx in order:
+        x0, x1, y0, y1 = bboxes[idx]
+        if x0 >= x1 or y0 >= y1:
+            continue
+        alpha = _splat_alpha(
+            geom.means2d[idx], geom.conics[idx], opacities[idx],
+            xs_full[x0:x1], ys_full[y0:y1], config,
+        )
+        t_box = transmittance[y0:y1, x0:x1]
+        depth_acc[y0:y1, x0:x1] += t_box * alpha * geom.depths[idx]
+        transmittance[y0:y1, x0:x1] = t_box * (1.0 - alpha)
+
+    alpha_map = 1.0 - transmittance
+    if normalize:
+        covered = alpha_map > 1e-8
+        depth_acc[covered] /= alpha_map[covered]
+        depth_acc[~covered] = 0.0
+    return DepthAlphaResult(depth=depth_acc, alpha=alpha_map)

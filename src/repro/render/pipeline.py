@@ -1,0 +1,181 @@
+"""End-to-end differentiable rendering of a GaussianModel.
+
+``render`` runs culling -> projection -> rasterization and returns an image
+plus the context needed by ``render_backward``, which packs per-attribute
+gradients into a single ``(M, 59)`` array aligned with the visible subset.
+That packed layout is exactly what GS-Scale ships across the (simulated)
+PCIe link as "G1/G3" in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cameras.camera import Camera
+from ..gaussians import layout
+from ..gaussians.layout import SH_DEGREE
+from ..gaussians.model import GaussianModel
+from . import backward as raster_backward
+from . import culling, projection, rasterize
+
+
+@dataclass
+class RenderResult:
+    """Forward rendering output plus backward context.
+
+    Attributes:
+        image: composited RGB, ``(H, W, 3)``.
+        valid_ids: indices of the rendered (visible) Gaussians.
+        cull: culling statistics for this view.
+        proj: projection result for the visible subset.
+        raster: rasterization result.
+        background: background color used.
+        config: rasterizer configuration used.
+    """
+
+    image: np.ndarray
+    valid_ids: np.ndarray
+    cull: culling.CullResult
+    proj: projection.ProjectionResult = field(repr=False)
+    raster: rasterize.RasterResult = field(repr=False)
+    background: np.ndarray = field(repr=False, default=None)
+    config: rasterize.RasterConfig = field(repr=False, default=None)
+
+
+@dataclass
+class RenderBackwardResult:
+    """Gradients of a rendered view.
+
+    Attributes:
+        param_grads: packed gradients ``(M, 59)`` for the visible subset,
+            column layout per :mod:`repro.gaussians.layout`.
+        valid_ids: the visible indices the rows correspond to.
+        mean2d_abs: screen-space positional gradient magnitudes ``(M,)``
+            used by densification.
+    """
+
+    param_grads: np.ndarray
+    valid_ids: np.ndarray
+    mean2d_abs: np.ndarray
+
+
+def render(
+    model: GaussianModel,
+    camera: Camera,
+    sh_degree: int = SH_DEGREE,
+    background: np.ndarray | None = None,
+    valid_ids: np.ndarray | None = None,
+    config: rasterize.RasterConfig | None = None,
+) -> RenderResult:
+    """Render ``model`` from ``camera``.
+
+    Args:
+        model: the Gaussian scene.
+        camera: viewing camera.
+        sh_degree: active SH degree.
+        background: background RGB (defaults to black).
+        valid_ids: pre-computed visible indices; when ``None``, frustum
+            culling runs here. GS-Scale passes this explicitly because its
+            pipeline culls one iteration ahead (parameter forwarding).
+        config: rasterizer thresholds.
+    """
+    config = config or rasterize.RasterConfig()
+    if background is None:
+        background = np.zeros(3, dtype=model.dtype)
+    background = np.asarray(background, dtype=model.dtype)
+
+    if valid_ids is None:
+        cull = culling.frustum_cull(
+            model.means, model.log_scales, model.quats, camera
+        )
+        valid_ids = cull.valid_ids
+    else:
+        valid_ids = np.asarray(valid_ids)
+        cull = culling.CullResult(
+            valid_ids=valid_ids,
+            num_total=model.num_gaussians,
+            num_in_depth=int(valid_ids.size),
+            num_visible=int(valid_ids.size),
+        )
+
+    proj = projection.project(
+        model.means[valid_ids],
+        model.log_scales[valid_ids],
+        model.quats[valid_ids],
+        model.opacity_logits[valid_ids],
+        model.sh[valid_ids],
+        camera,
+        sh_degree=sh_degree,
+    )
+    raster = rasterize.rasterize(
+        proj.geom.means2d,
+        proj.geom.conics,
+        proj.colors,
+        proj.opacities,
+        proj.geom.depths,
+        proj.geom.radii,
+        camera.width,
+        camera.height,
+        background=background,
+        config=config,
+    )
+    return RenderResult(
+        image=raster.image,
+        valid_ids=valid_ids,
+        cull=cull,
+        proj=proj,
+        raster=raster,
+        background=background,
+        config=config,
+    )
+
+
+def render_backward(
+    model: GaussianModel,
+    camera: Camera,
+    result: RenderResult,
+    grad_image: np.ndarray,
+) -> RenderBackwardResult:
+    """Backpropagate ``dL/d image`` to packed per-Gaussian gradients.
+
+    Args:
+        model: the model used in the forward pass.
+        camera: the forward camera.
+        result: forward :class:`RenderResult`.
+        grad_image: gradient w.r.t. ``result.image``, ``(H, W, 3)``.
+    """
+    ids = result.valid_ids
+    proj = result.proj
+    rgrads = raster_backward.rasterize_backward(
+        proj.geom.means2d,
+        proj.geom.conics,
+        proj.colors,
+        proj.opacities,
+        result.raster,
+        grad_image,
+        background=result.background,
+        config=result.config,
+    )
+    pgrads = projection.project_backward(
+        model.means[ids],
+        model.log_scales[ids],
+        model.quats[ids],
+        model.sh[ids],
+        camera,
+        proj,
+        grad_means2d=rgrads.means2d,
+        grad_conics=rgrads.conics,
+        grad_colors=rgrads.colors,
+        grad_opacities=rgrads.opacities,
+    )
+    packed = np.zeros((ids.size, layout.PARAM_DIM), dtype=model.dtype)
+    packed[:, layout.MEAN_SLICE] = pgrads.means
+    packed[:, layout.SCALE_SLICE] = pgrads.log_scales
+    packed[:, layout.QUAT_SLICE] = pgrads.quats
+    packed[:, layout.OPACITY_SLICE] = pgrads.opacity_logits
+    packed[:, layout.SH_SLICE] = pgrads.sh.reshape(ids.size, layout.SH_DIM)
+    return RenderBackwardResult(
+        param_grads=packed, valid_ids=ids, mean2d_abs=rgrads.mean2d_abs
+    )

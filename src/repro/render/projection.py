@@ -1,0 +1,320 @@
+"""EWA projection of 3D Gaussians to screen space, forward and backward.
+
+Step 1 of the training pipeline (Figure 2): geometric parameters
+(mean/scale/quaternion) map to a 2D mean and covariance via the perspective
+Jacobian, and SH coefficients map to RGB via the view direction. The
+backward pass here is the exact adjoint, verified against numerical
+gradients in ``tests/render/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cameras.camera import Camera
+from ..gaussians import covariance as cov3d
+from ..gaussians import sh as sh_module
+from ..gaussians.layout import SH_DEGREE
+
+#: Low-pass filter added to the 2D covariance diagonal (3DGS uses 0.3 px^2)
+#: so every splat covers at least ~one pixel.
+EPS_2D = 0.3
+
+#: Floor on the eigenvalue discriminant when computing splat radii.
+_RADIUS_DISCRIMINANT_FLOOR = 0.1
+
+
+@dataclass
+class Projection2D:
+    """Screen-space geometry of a set of Gaussians (no color).
+
+    Attributes:
+        means2d: pixel-space centers, ``(M, 2)``.
+        cov2d: 2D covariances including the low-pass term, ``(M, 2, 2)``.
+        conics: upper-triangular entries ``(a, b, c)`` of ``inv(cov2d)``,
+            ``(M, 3)``.
+        depths: camera-space z, ``(M,)``.
+        radii: conservative splat radii in pixels (3 sigma), ``(M,)``.
+        valid: mask of Gaussians with positive-definite 2D covariance, ``(M,)``.
+    """
+
+    means2d: np.ndarray
+    cov2d: np.ndarray
+    conics: np.ndarray
+    depths: np.ndarray
+    radii: np.ndarray
+    valid: np.ndarray
+
+
+@dataclass
+class ProjectionContext:
+    """Intermediates cached by :func:`project` for :func:`project_backward`."""
+
+    cam_points: np.ndarray  # (M, 3)
+    jacobians: np.ndarray  # (M, 2, 3)
+    cov3d_ctx: dict
+    cov3d_mats: np.ndarray  # (M, 3, 3)
+    view_dirs: np.ndarray  # (M, 3) unit
+    view_vec_norms: np.ndarray  # (M,)
+    clamp_mask: np.ndarray  # (M, 3)
+    opacities: np.ndarray  # (M,)
+    sh_degree: int
+
+
+@dataclass
+class ProjectionResult:
+    """Full forward projection: geometry, color, opacity plus backward context."""
+
+    geom: Projection2D
+    colors: np.ndarray  # (M, 3)
+    opacities: np.ndarray  # (M,)
+    ctx: ProjectionContext = field(repr=False)
+
+
+@dataclass
+class ProjectionGrads:
+    """Gradients w.r.t. the raw Gaussian attributes of the projected subset."""
+
+    means: np.ndarray  # (M, 3)
+    log_scales: np.ndarray  # (M, 3)
+    quats: np.ndarray  # (M, 4)
+    opacity_logits: np.ndarray  # (M, 1)
+    sh: np.ndarray  # (M, 16, 3)
+
+
+def _perspective_jacobian(cam_points: np.ndarray, camera: Camera) -> np.ndarray:
+    """Jacobian of the pinhole projection at each camera-space point."""
+    tx, ty, tz = cam_points[:, 0], cam_points[:, 1], cam_points[:, 2]
+    inv_z = 1.0 / tz
+    inv_z2 = inv_z * inv_z
+    jac = np.zeros(cam_points.shape[:-1] + (2, 3), dtype=cam_points.dtype)
+    jac[:, 0, 0] = camera.fx * inv_z
+    jac[:, 0, 2] = -camera.fx * tx * inv_z2
+    jac[:, 1, 1] = camera.fy * inv_z
+    jac[:, 1, 2] = -camera.fy * ty * inv_z2
+    return jac
+
+
+def _splat_radii(cov2d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Conservative 3-sigma pixel radii and validity mask from 2D covariances."""
+    a = cov2d[:, 0, 0]
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1]
+    det = a * c - b * b
+    mid = 0.5 * (a + c)
+    disc = np.sqrt(np.maximum(mid * mid - det, _RADIUS_DISCRIMINANT_FLOOR))
+    lambda_max = mid + disc
+    radii = np.ceil(3.0 * np.sqrt(np.maximum(lambda_max, 0.0)))
+    return radii, det > 0
+
+
+def project_geometry(
+    means: np.ndarray,
+    log_scales: np.ndarray,
+    quats: np.ndarray,
+    camera: Camera,
+) -> tuple[Projection2D, ProjectionContext]:
+    """Project geometric attributes to screen space.
+
+    This is the shared kernel between frustum culling (which needs only
+    geometry — the basis of selective offloading, Section 4.2.1) and the
+    full forward pass.
+
+    Returns:
+        ``(geom, partial_ctx)`` — the context lacks color-related fields,
+        which :func:`project` fills in.
+    """
+    dtype = means.dtype
+    rot = camera.world_to_cam_rot.astype(dtype)
+    trans = camera.world_to_cam_trans.astype(dtype)
+    cam_points = means @ rot.T + trans
+
+    u = camera.fx * cam_points[:, 0] / cam_points[:, 2] + camera.cx
+    v = camera.fy * cam_points[:, 1] / cam_points[:, 2] + camera.cy
+    means2d = np.stack([u, v], axis=-1)
+
+    jac = _perspective_jacobian(cam_points, camera)
+    cov_world, c3_ctx = cov3d.build_covariance(log_scales, quats)
+    m = jac @ rot  # (M, 2, 3)
+    cov2d = m @ cov_world @ np.swapaxes(m, -1, -2)
+    cov2d[:, 0, 0] += EPS_2D
+    cov2d[:, 1, 1] += EPS_2D
+
+    a = cov2d[:, 0, 0]
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1]
+    det = a * c - b * b
+    safe_det = np.where(det > 0, det, 1.0)
+    conics = np.stack([c / safe_det, -b / safe_det, a / safe_det], axis=-1)
+
+    radii, valid = _splat_radii(cov2d)
+    geom = Projection2D(
+        means2d=means2d,
+        cov2d=cov2d,
+        conics=conics,
+        depths=cam_points[:, 2].copy(),
+        radii=radii,
+        valid=valid,
+    )
+    ctx = ProjectionContext(
+        cam_points=cam_points,
+        jacobians=jac,
+        cov3d_ctx=c3_ctx,
+        cov3d_mats=cov_world,
+        view_dirs=np.empty(0),
+        view_vec_norms=np.empty(0),
+        clamp_mask=np.empty(0),
+        opacities=np.empty(0),
+        sh_degree=SH_DEGREE,
+    )
+    return geom, ctx
+
+
+def project(
+    means: np.ndarray,
+    log_scales: np.ndarray,
+    quats: np.ndarray,
+    opacity_logits: np.ndarray,
+    sh_coeffs: np.ndarray,
+    camera: Camera,
+    sh_degree: int = SH_DEGREE,
+) -> ProjectionResult:
+    """Full forward projection of a (pre-culled) set of Gaussians.
+
+    Args:
+        means: world positions, ``(M, 3)``.
+        log_scales: log extents, ``(M, 3)``.
+        quats: raw quaternions, ``(M, 4)``.
+        opacity_logits: ``(M,)`` or ``(M, 1)``.
+        sh_coeffs: SH coefficients, ``(M, 16, 3)`` or ``(M, 48)``.
+        camera: viewing camera.
+        sh_degree: active SH degree (0..3) — 3DGS ramps this up during
+            training.
+    """
+    m_count = means.shape[0]
+    geom, ctx = project_geometry(means, log_scales, quats, camera)
+
+    sh_coeffs = sh_coeffs.reshape(m_count, 16 if m_count == 0 else -1, 3)
+    view_vec = means - camera.center.astype(means.dtype)
+    norms = np.linalg.norm(view_vec, axis=-1)
+    safe_norms = np.maximum(norms, 1e-12)
+    dirs = view_vec / safe_norms[:, None]
+    colors, clamp_mask = sh_module.eval_colors(sh_coeffs, dirs, sh_degree)
+
+    logits = np.reshape(opacity_logits, (m_count,))
+    opacities = 1.0 / (1.0 + np.exp(-logits))
+
+    ctx.view_dirs = dirs
+    ctx.view_vec_norms = safe_norms
+    ctx.clamp_mask = clamp_mask
+    ctx.opacities = opacities
+    ctx.sh_degree = sh_degree
+    return ProjectionResult(geom=geom, colors=colors, opacities=opacities, ctx=ctx)
+
+
+def project_backward(
+    means: np.ndarray,
+    log_scales: np.ndarray,
+    quats: np.ndarray,
+    sh_coeffs: np.ndarray,
+    camera: Camera,
+    result: ProjectionResult,
+    grad_means2d: np.ndarray,
+    grad_conics: np.ndarray,
+    grad_colors: np.ndarray,
+    grad_opacities: np.ndarray,
+) -> ProjectionGrads:
+    """Backpropagate rasterizer gradients to raw Gaussian attributes.
+
+    Args:
+        means, log_scales, quats, sh_coeffs: forward inputs (projected subset).
+        camera: viewing camera.
+        result: forward :class:`ProjectionResult`.
+        grad_means2d: ``dL/d means2d``, ``(M, 2)``.
+        grad_conics: ``dL/d (a, b, c)`` of the conic, ``(M, 3)``.
+        grad_colors: ``dL/d colors``, ``(M, 3)``.
+        grad_opacities: ``dL/d opacities`` (post-sigmoid), ``(M,)``.
+    """
+    ctx = result.ctx
+    geom = result.geom
+    m_count = means.shape[0]
+    dtype = means.dtype
+    rot = camera.world_to_cam_rot.astype(dtype)
+    cam_points = ctx.cam_points
+    jac = ctx.jacobians
+    sh_coeffs = sh_coeffs.reshape(m_count, -1, 3)
+
+    # --- conic -> cov2d: C = V^{-1} so dL/dV = -C G C with G symmetrized.
+    conic_mat_grad = np.empty((m_count, 2, 2), dtype=dtype)
+    conic_mat_grad[:, 0, 0] = grad_conics[:, 0]
+    conic_mat_grad[:, 0, 1] = 0.5 * grad_conics[:, 1]
+    conic_mat_grad[:, 1, 0] = 0.5 * grad_conics[:, 1]
+    conic_mat_grad[:, 1, 1] = grad_conics[:, 2]
+    conic_full = np.empty((m_count, 2, 2), dtype=dtype)
+    conic_full[:, 0, 0] = geom.conics[:, 0]
+    conic_full[:, 0, 1] = geom.conics[:, 1]
+    conic_full[:, 1, 0] = geom.conics[:, 1]
+    conic_full[:, 1, 1] = geom.conics[:, 2]
+    grad_cov2d = -(conic_full @ conic_mat_grad @ conic_full)
+
+    # --- cov2d = M Sigma3 M^T + eps I with M = J W.
+    m_mat = jac @ rot
+    sym = grad_cov2d + np.swapaxes(grad_cov2d, -1, -2)
+    grad_sigma3 = np.swapaxes(m_mat, -1, -2) @ grad_cov2d @ m_mat
+    grad_m = sym @ m_mat @ ctx.cov3d_mats
+    grad_jac = grad_m @ rot.T  # W constant
+
+    # --- Jacobian entries -> camera-space point.
+    tx, ty, tz = cam_points[:, 0], cam_points[:, 1], cam_points[:, 2]
+    inv_z = 1.0 / tz
+    inv_z2 = inv_z * inv_z
+    inv_z3 = inv_z2 * inv_z
+    grad_t = np.zeros_like(cam_points)
+    grad_t[:, 0] += grad_jac[:, 0, 2] * (-camera.fx * inv_z2)
+    grad_t[:, 1] += grad_jac[:, 1, 2] * (-camera.fy * inv_z2)
+    grad_t[:, 2] += (
+        grad_jac[:, 0, 0] * (-camera.fx * inv_z2)
+        + grad_jac[:, 1, 1] * (-camera.fy * inv_z2)
+        + grad_jac[:, 0, 2] * (2.0 * camera.fx * tx * inv_z3)
+        + grad_jac[:, 1, 2] * (2.0 * camera.fy * ty * inv_z3)
+    )
+
+    # --- 2D mean -> camera-space point.
+    grad_t[:, 0] += grad_means2d[:, 0] * camera.fx * inv_z
+    grad_t[:, 2] += grad_means2d[:, 0] * (-camera.fx * tx * inv_z2)
+    grad_t[:, 1] += grad_means2d[:, 1] * camera.fy * inv_z
+    grad_t[:, 2] += grad_means2d[:, 1] * (-camera.fy * ty * inv_z2)
+
+    grad_means = grad_t @ rot  # t = W p + c  =>  dL/dp = W^T dL/dt
+
+    # --- colors -> SH coefficients and view direction -> mean.
+    grad_sh, grad_dirs = sh_module.eval_colors_backward(
+        sh_coeffs, ctx.view_dirs, ctx.clamp_mask, grad_colors, ctx.sh_degree
+    )
+    dirs = ctx.view_dirs
+    inner = np.sum(dirs * grad_dirs, axis=-1, keepdims=True)
+    grad_means += (grad_dirs - dirs * inner) / ctx.view_vec_norms[:, None]
+
+    # --- covariance -> scales and quaternions.
+    grad_log_scales, grad_quats = cov3d.build_covariance_backward(
+        quats, ctx.cov3d_ctx, grad_sigma3
+    )
+
+    # --- opacity sigmoid.
+    o = ctx.opacities
+    grad_logits = (grad_opacities * o * (1.0 - o)).reshape(m_count, 1)
+
+    if grad_sh.shape[1] < 16:
+        padded = np.zeros((m_count, 16, 3), dtype=dtype)
+        padded[:, : grad_sh.shape[1], :] = grad_sh
+        grad_sh = padded
+
+    return ProjectionGrads(
+        means=grad_means,
+        log_scales=grad_log_scales,
+        quats=grad_quats,
+        opacity_logits=grad_logits,
+        sh=grad_sh,
+    )

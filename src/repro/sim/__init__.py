@@ -1,0 +1,59 @@
+"""Performance simulator: devices, memory model, cost model, timelines."""
+
+from .costs import CostModel
+from .devices import PLATFORMS, CPUSpec, GPUSpec, Platform, get_platform
+from .memory import (
+    ACTIVATION_BYTES_PER_PIXEL,
+    fits_host,
+    host_state_bytes,
+    MemoryBreakdown,
+    MemoryTracker,
+    baseline_offload_breakdown,
+    bytes_per_gaussian,
+    fits,
+    gpu_only_breakdown,
+    gsscale_breakdown,
+    max_trainable_gaussians,
+)
+from .timeline import (
+    SYSTEMS,
+    EpochResult,
+    IterationSim,
+    Segment,
+    geomean,
+    peak_memory,
+    simulate_epoch,
+    simulate_iteration,
+)
+from .trace import render_ascii, to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "ACTIVATION_BYTES_PER_PIXEL",
+    "CPUSpec",
+    "CostModel",
+    "EpochResult",
+    "GPUSpec",
+    "IterationSim",
+    "MemoryBreakdown",
+    "MemoryTracker",
+    "PLATFORMS",
+    "Platform",
+    "SYSTEMS",
+    "Segment",
+    "baseline_offload_breakdown",
+    "bytes_per_gaussian",
+    "fits",
+    "fits_host",
+    "geomean",
+    "get_platform",
+    "gpu_only_breakdown",
+    "host_state_bytes",
+    "gsscale_breakdown",
+    "max_trainable_gaussians",
+    "peak_memory",
+    "render_ascii",
+    "simulate_epoch",
+    "simulate_iteration",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,274 @@
+"""GPU memory model: byte-level accounting of training-state placement.
+
+Reproduces the paper's memory analysis (Section 3.1-3.2, Figures 3b and
+12): training state is parameters + gradients + two Adam moments (4x the
+parameter bytes), activations scale with rendered pixels, and GS-Scale
+moves all non-geometric state to the host, keeping only the geometric 17%
+plus an on-demand staged window bounded by ``mem_limit`` image splitting.
+
+Also provides :class:`MemoryTracker`, the runtime allocator ledger used by
+the functional offload engine to assert it stays within a device budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gaussians import layout
+from .devices import GPUSpec
+
+#: Bytes of forward/backward activation state per rendered pixel
+#: (intermediate buffers, tile lists, per-pixel blending state). Calibrated
+#: so that Gaussian state is ~90% of GPU memory at 1-1.6K resolutions
+#: (Figure 3b) for scenes in the 10-20M-Gaussian class.
+ACTIVATION_BYTES_PER_PIXEL = 1100
+
+#: GS-Scale partitions host->device transfers into 32 MB chunks
+#: (Section 4.2.2); two are in flight for double buffering.
+TRANSFER_CHUNK_BYTES = 32 * 1024 * 1024
+TRANSFER_BUFFER_BYTES = 2 * TRANSFER_CHUNK_BYTES
+
+#: PyTorch keeps reserved pools larger than allocated memory (the paper's
+#: footnote 1: OOM can hit before allocated reaches capacity). The capacity
+#: check divides the device limit by this factor.
+ALLOCATOR_RESERVE_FACTOR = 1.5
+
+#: Fixed runtime overhead (CUDA context, framework) counted against capacity.
+RUNTIME_OVERHEAD_BYTES = 600 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Bytes on the GPU by category (mirrors Figure 3b's categories)."""
+
+    parameters: int
+    gradients: int
+    optimizer_states: int
+    activations: int
+    transfer_buffers: int = 0
+
+    @property
+    def total(self) -> int:
+        """All accounted GPU bytes."""
+        return (
+            self.parameters
+            + self.gradients
+            + self.optimizer_states
+            + self.activations
+            + self.transfer_buffers
+        )
+
+    @property
+    def gaussian_state(self) -> int:
+        """Parameter-related bytes (the paper's ~90% at 1-1.6K)."""
+        return self.parameters + self.gradients + self.optimizer_states
+
+    def shares(self) -> dict[str, float]:
+        """Fractional share per category."""
+        t = max(self.total, 1)
+        return {
+            "parameters": self.parameters / t,
+            "gradients": self.gradients / t,
+            "optimizer_states": self.optimizer_states / t,
+            "activations": self.activations / t,
+            "transfer_buffers": self.transfer_buffers / t,
+        }
+
+
+def activation_bytes(num_pixels: int) -> int:
+    """Forward/backward activation footprint for one rendered view."""
+    return num_pixels * ACTIVATION_BYTES_PER_PIXEL
+
+
+def effective_staged_ratio(peak_active_ratio: float, mem_limit: float) -> float:
+    """Per-pass staged fraction after balance-aware image splitting.
+
+    A view whose active ratio exceeds ``mem_limit`` is split into
+    ``ceil(ratio / mem_limit)`` balanced sub-regions (Section 4.4; two
+    sufficed in the paper's benchmarks), each staging ``ratio / splits`` of
+    the scene.
+    """
+    if peak_active_ratio <= mem_limit:
+        return peak_active_ratio
+    import math
+
+    splits = math.ceil(peak_active_ratio / mem_limit)
+    return peak_active_ratio / splits
+
+
+def gpu_only_breakdown(num_gaussians: int, num_pixels: int) -> MemoryBreakdown:
+    """GPU-only training: everything resident (Section 3.1)."""
+    p = layout.param_bytes(num_gaussians)
+    return MemoryBreakdown(
+        parameters=p,
+        gradients=p,
+        optimizer_states=2 * p,
+        activations=activation_bytes(num_pixels),
+    )
+
+
+def baseline_offload_breakdown(
+    num_gaussians: int, num_pixels: int, peak_active_ratio: float
+) -> MemoryBreakdown:
+    """Baseline GS-Scale (Section 4.1): no geometric residency, the peak
+    view's full 59-parameter rows plus their gradients staged on demand."""
+    staged = int(num_gaussians * peak_active_ratio)
+    p = layout.param_bytes(staged)
+    return MemoryBreakdown(
+        parameters=p,
+        gradients=p,
+        optimizer_states=0,
+        activations=activation_bytes(num_pixels),
+    )
+
+
+def gsscale_breakdown(
+    num_gaussians: int,
+    num_pixels: int,
+    peak_active_ratio: float,
+    mem_limit: float = 0.3,
+) -> MemoryBreakdown:
+    """GS-Scale with selective offloading + image splitting (Section 4.2/4.4).
+
+    Resident: geometric parameters, gradients, and moments (10/59 of state);
+    staged: non-geometric parameters + gradients for the worst view, capped
+    by balance-aware splitting at ``mem_limit`` of the scene.
+    """
+    geo_param = layout.param_bytes(num_gaussians, layout.GEOMETRIC_DIM)
+    effective_peak = effective_staged_ratio(peak_active_ratio, mem_limit)
+    staged_rows = int(num_gaussians * effective_peak)
+    staged_param = layout.param_bytes(staged_rows, layout.NON_GEOMETRIC_DIM)
+    return MemoryBreakdown(
+        parameters=geo_param + staged_param,
+        gradients=geo_param + staged_param,
+        optimizer_states=2 * geo_param,
+        activations=activation_bytes(num_pixels),
+        transfer_buffers=TRANSFER_BUFFER_BYTES,
+    )
+
+
+def fits(breakdown: MemoryBreakdown, gpu: GPUSpec) -> bool:
+    """Whether a workload trains without OOM on ``gpu`` (reserve-adjusted)."""
+    budget = gpu.memory_bytes / ALLOCATOR_RESERVE_FACTOR - RUNTIME_OVERHEAD_BYTES
+    return breakdown.total <= budget
+
+
+def max_trainable_gaussians(
+    gpu: GPUSpec,
+    num_pixels: int,
+    system: str = "gpu_only",
+    peak_active_ratio: float = 0.3,
+    mem_limit: float = 0.3,
+) -> int:
+    """Largest Gaussian count that fits ``gpu`` for a given system.
+
+    Inverts the per-system breakdown analytically. This is the quantity
+    behind Figure 1 and Section 5.6's "4M -> 18M on an RTX 4070 Mobile".
+    """
+    budget = gpu.memory_bytes / ALLOCATOR_RESERVE_FACTOR - RUNTIME_OVERHEAD_BYTES
+    budget -= activation_bytes(num_pixels)
+    if budget <= 0:
+        return 0
+    per_g = bytes_per_gaussian(
+        system, peak_active_ratio=peak_active_ratio, mem_limit=mem_limit
+    )
+    if system == "gsscale":
+        budget -= TRANSFER_BUFFER_BYTES
+    return max(int(budget / per_g), 0)
+
+
+def bytes_per_gaussian(
+    system: str, peak_active_ratio: float = 0.3, mem_limit: float = 0.3
+) -> float:
+    """Resident GPU bytes per scene Gaussian under each system."""
+    full_state = layout.train_state_bytes(1)  # 944 B
+    if system == "gpu_only":
+        return float(full_state)
+    if system == "baseline_offload":
+        return 2 * layout.param_bytes(1) * peak_active_ratio
+    if system == "gsscale":
+        geo = layout.train_state_bytes(1, layout.GEOMETRIC_DIM)
+        staged = (
+            2
+            * layout.param_bytes(1, layout.NON_GEOMETRIC_DIM)
+            * effective_staged_ratio(peak_active_ratio, mem_limit)
+        )
+        return geo + staged
+    raise ValueError(f"unknown system {system!r}")
+
+
+def host_state_bytes(num_gaussians: int, system: str) -> int:
+    """Host-memory footprint of the offloaded training state.
+
+    GS-Scale keeps the non-geometric parameters and their two Adam moments
+    (plus the returned gradients and the defer counters) in host DRAM; the
+    baseline keeps all 59 columns there. The GPU-only system offloads
+    nothing.
+    """
+    if system == "gpu_only":
+        return 0
+    if system == "baseline_offload":
+        return layout.train_state_bytes(num_gaussians)
+    if system in ("gsscale", "gsscale_no_deferred"):
+        state = layout.train_state_bytes(num_gaussians, layout.NON_GEOMETRIC_DIM)
+        counters = num_gaussians  # one byte each
+        return state + counters
+    raise ValueError(f"unknown system {system!r}")
+
+
+def fits_host(num_gaussians: int, system: str, host_memory_bytes: int) -> bool:
+    """Whether the offloaded state fits host DRAM (Table 1 capacities).
+
+    Host offloading moves the memory wall, it does not remove it: e.g. the
+    Aerial scene's ~42 GB of training state cannot be hosted by the
+    laptop's 32 GB of DRAM no matter how little GPU memory is used.
+    """
+    # leave room for the OS, the framework, and the image cache
+    budget = host_memory_bytes * 0.85
+    return host_state_bytes(num_gaussians, system) <= budget
+
+
+class MemoryTracker:
+    """Runtime allocation ledger for the functional offload engine.
+
+    Tracks live bytes per category and the high-water mark, mimicking
+    ``torch.cuda.max_memory_allocated`` (the paper's measurement tool).
+    """
+
+    def __init__(self, capacity_bytes: int | None = None):
+        self.capacity_bytes = capacity_bytes
+        self._live: dict[str, int] = {}
+        self.peak_bytes = 0
+
+    @property
+    def live_bytes(self) -> int:
+        """Currently allocated bytes."""
+        return sum(self._live.values())
+
+    def allocate(self, category: str, num_bytes: int) -> None:
+        """Record an allocation; raises MemoryError past capacity."""
+        if num_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self._live[category] = self._live.get(category, 0) + num_bytes
+        total = self.live_bytes
+        if self.capacity_bytes is not None and total > self.capacity_bytes:
+            raise MemoryError(
+                f"device OOM: {total} bytes live > capacity "
+                f"{self.capacity_bytes} (allocating {num_bytes} for "
+                f"{category!r})"
+            )
+        self.peak_bytes = max(self.peak_bytes, total)
+
+    def free(self, category: str, num_bytes: int) -> None:
+        """Record a deallocation."""
+        have = self._live.get(category, 0)
+        if num_bytes > have:
+            raise ValueError(
+                f"freeing {num_bytes} bytes from {category!r} but only "
+                f"{have} live"
+            )
+        self._live[category] = have - num_bytes
+
+    def live_by_category(self) -> dict[str, int]:
+        """Snapshot of live bytes per category."""
+        return dict(self._live)

@@ -1,0 +1,78 @@
+"""Replay functional training runs through the performance model.
+
+The functional engines (:mod:`repro.core`) record exactly which Gaussians
+every iteration touched; this module replays those measurements through the
+analytic cost model to estimate what the same run would cost on a paper
+platform. It bridges the two layers of the reproduction: small scenes that
+*actually train* produce workload measurements, the calibrated model maps
+them to paper-scale hardware."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.trainer import TrainingHistory
+from .costs import CostModel
+from .devices import Platform
+from .timeline import simulate_iteration
+
+
+@dataclass
+class ReplayEstimate:
+    """Modeled cost of a recorded training run on a target platform.
+
+    Attributes:
+        platform_key: target platform.
+        system: system the history was recorded under.
+        seconds: estimated wall-clock for the whole run.
+        images_per_second: estimated throughput.
+        breakdown: per-stage seconds.
+    """
+
+    platform_key: str
+    system: str
+    seconds: float
+    images_per_second: float
+    breakdown: dict[str, float]
+
+
+def replay_history(
+    history: TrainingHistory,
+    platform: Platform,
+    system: str,
+    num_gaussians: int,
+    num_pixels: int,
+    mem_limit: float = 0.3,
+) -> ReplayEstimate:
+    """Estimate the recorded run's cost on ``platform``.
+
+    Args:
+        history: functional training history (its per-step visible counts
+            drive the workload).
+        platform: target hardware model.
+        system: system schedule to replay under.
+        num_gaussians: scene size during the run (post-densification runs
+            should be replayed per segment).
+        num_pixels: rendered pixels per view.
+        mem_limit: image-splitting threshold.
+    """
+    if not history.steps:
+        raise ValueError("history has no recorded steps")
+    cost = CostModel(platform)
+    total = 0.0
+    breakdown: dict[str, float] = {}
+    for step in history.steps:
+        ratio = step.num_visible / max(num_gaussians, 1)
+        it = simulate_iteration(
+            system, cost, num_gaussians, ratio, num_pixels, mem_limit
+        )
+        total += it.time
+        for k, v in it.breakdown.items():
+            breakdown[k] = breakdown.get(k, 0.0) + v
+    return ReplayEstimate(
+        platform_key=platform.key,
+        system=system,
+        seconds=total,
+        images_per_second=len(history.steps) / total,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,347 @@
+"""Discrete-event timeline of training iterations for all four systems.
+
+Reproduces the execution schedules of Figure 9:
+
+* ``gpu_only`` — everything serial on the GPU (Figure 9a).
+* ``baseline_offload`` — CPU culling, staged transfers, CPU dense updates,
+  all serialized with GPU work (Figure 9b).
+* ``gsscale_no_deferred`` — selective offloading + parameter forwarding:
+  the CPU leg (framework dense update) overlaps the GPU leg (Figure 9c).
+* ``gsscale`` — all optimizations; the CPU leg shrinks to the deferred
+  update (Figure 9d).
+
+``simulate_epoch`` runs a whole workload trace through one system and
+reports throughput, a stage breakdown (Figure 7), and OOM status
+(Figure 11's missing bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.workload import WorkloadTrace
+from ..gaussians import layout
+from .costs import CostModel, ITERATION_OVERHEAD_S
+from .devices import Platform
+from .memory import (
+    baseline_offload_breakdown,
+    fits,
+    fits_host,
+    gpu_only_breakdown,
+    gsscale_breakdown,
+)
+
+SYSTEMS = (
+    "baseline_offload",
+    "gsscale_no_deferred",
+    "gsscale",
+    "gpu_only",
+)
+
+#: Deferred-update saturation overhead: with a 4-bit counter, 1/15 of the
+#: inactive rows are force-updated per step on average (Section 4.3.2).
+SATURATION_FRACTION = 1.0 / 15.0
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One busy interval on one resource (for Figure 9 timelines)."""
+
+    resource: str  # "GPU" | "CPU" | "PCIe"
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Segment length in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class IterationSim:
+    """One simulated training iteration.
+
+    Attributes:
+        time: wall-clock seconds for the iteration.
+        breakdown: seconds attributed to each stage (overlapped stages
+            still report their own duration).
+        segments: resource-time intervals for visualization.
+    """
+
+    time: float
+    breakdown: dict[str, float]
+    segments: list[Segment] = field(default_factory=list)
+
+
+def _num_sub_passes(ratio: float, mem_limit: float, system: str) -> int:
+    """How many image-split passes a view needs (Section 4.4)."""
+    if system in ("gpu_only", "baseline_offload") or ratio <= mem_limit:
+        return 1
+    return int(np.ceil(ratio / mem_limit))
+
+
+def simulate_iteration(
+    system: str,
+    cost: CostModel,
+    n_total: int,
+    active_ratio: float,
+    num_pixels: int,
+    mem_limit: float = 0.3,
+) -> IterationSim:
+    """Simulate one training iteration under ``system``."""
+    n_active = int(n_total * active_ratio)
+    splits = _num_sub_passes(active_ratio, mem_limit, system)
+
+    if system == "gpu_only":
+        return _sim_gpu_only(cost, n_total, n_active, num_pixels)
+    if system == "baseline_offload":
+        return _sim_baseline(cost, n_total, n_active, num_pixels)
+    if system in ("gsscale_no_deferred", "gsscale"):
+        return _sim_gsscale(
+            cost,
+            n_total,
+            n_active,
+            num_pixels,
+            deferred=(system == "gsscale"),
+            splits=splits,
+        )
+    raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
+
+
+def _sim_gpu_only(
+    cost: CostModel, n_total: int, n_active: int, num_pixels: int
+) -> IterationSim:
+    cull = cost.gpu_cull(n_total)
+    fwd_bwd = cost.forward_backward(n_active, num_pixels)
+    update = cost.gpu_dense_update(n_total)
+    t = 0.0
+    segments = []
+    for label, dur in (("cull", cull), ("fwd-bwd", fwd_bwd), ("update", update)):
+        segments.append(Segment("GPU", label, t, t + dur))
+        t += dur
+    t += ITERATION_OVERHEAD_S
+    return IterationSim(
+        time=t,
+        breakdown={
+            "cull": cull,
+            "h2d": 0.0,
+            "fwd_bwd": fwd_bwd,
+            "d2h": 0.0,
+            "optimizer": update,
+            "misc": ITERATION_OVERHEAD_S,
+        },
+        segments=segments,
+    )
+
+
+def _sim_baseline(
+    cost: CostModel, n_total: int, n_active: int, num_pixels: int
+) -> IterationSim:
+    cull = cost.cpu_cull(n_total)
+    h2d = cost.h2d_params(n_active, layout.PARAM_DIM)
+    fwd_bwd = cost.forward_backward(n_active, num_pixels)
+    d2h = cost.d2h_grads(n_active, layout.PARAM_DIM)
+    update = cost.cpu_dense_update(n_total)
+
+    t = 0.0
+    segments = []
+    for res, label, dur in (
+        ("CPU", "cull", cull),
+        ("PCIe", "H2D", h2d),
+        ("GPU", "fwd-bwd", fwd_bwd),
+        ("PCIe", "D2H", d2h),
+        ("CPU", "update", update),
+    ):
+        segments.append(Segment(res, label, t, t + dur))
+        t += dur
+    t += ITERATION_OVERHEAD_S
+    return IterationSim(
+        time=t,
+        breakdown={
+            "cull": cull,
+            "h2d": h2d,
+            "fwd_bwd": fwd_bwd,
+            "d2h": d2h,
+            "optimizer": update,
+            "misc": ITERATION_OVERHEAD_S,
+        },
+        segments=segments,
+    )
+
+
+def _sim_gsscale(
+    cost: CostModel,
+    n_total: int,
+    n_active: int,
+    num_pixels: int,
+    deferred: bool,
+    splits: int,
+) -> IterationSim:
+    """Pipelined schedule (Figures 9c/9d): steady-state iteration time is
+    the slowest of the GPU, CPU, and PCIe legs plus fixed overhead."""
+    dim = layout.NON_GEOMETRIC_DIM
+
+    # GPU leg: fwd/bwd (+ extra per-split culling), geometric M.S.Q. update,
+    # next-view frustum culling.
+    cull = cost.gpu_cull(n_total) * splits
+    fwd_bwd = cost.forward_backward(n_active, num_pixels)
+    geo_update = cost.gpu_dense_update(n_total, layout.GEOMETRIC_DIM)
+    gpu_leg = fwd_bwd + geo_update + cull
+
+    # CPU leg: parameter forwarding peek for the next view + the lazy
+    # commit of this view's gradients.
+    peek = cost.cpu_forward_peek(n_active, dim)
+    if deferred:
+        n_updated = n_active + int((n_total - n_active) * SATURATION_FRACTION)
+        update = cost.cpu_deferred_update(n_updated, n_total, dim)
+    else:
+        update = cost.cpu_dense_update(n_total, dim)
+    cpu_leg = peek + update
+
+    # PCIe leg: forwarded parameters in, gradients out (chunk-pipelined).
+    h2d = cost.h2d_params(n_active, dim)
+    d2h = cost.d2h_grads(n_active, dim) * splits
+    pcie_leg = h2d + d2h
+
+    split_overhead = (splits - 1) * ITERATION_OVERHEAD_S
+    time = max(gpu_leg, cpu_leg, pcie_leg) + ITERATION_OVERHEAD_S + split_overhead
+
+    segments = [
+        Segment("CPU", "fwd-update", 0.0, peek),
+        Segment("PCIe", "H2D", peek * 0.2, peek * 0.2 + h2d),
+        Segment("GPU", "fwd-bwd", max(peek * 0.2 + h2d * 0.3, 0.0),
+                max(peek * 0.2 + h2d * 0.3, 0.0) + fwd_bwd),
+        Segment("CPU", "deferred-update" if deferred else "dense-update",
+                peek, peek + update),
+        Segment("GPU", "msq-update",
+                max(peek * 0.2 + h2d * 0.3, 0.0) + fwd_bwd,
+                max(peek * 0.2 + h2d * 0.3, 0.0) + fwd_bwd + geo_update),
+        Segment("GPU", "cull",
+                max(peek * 0.2 + h2d * 0.3, 0.0) + fwd_bwd + geo_update,
+                max(peek * 0.2 + h2d * 0.3, 0.0) + fwd_bwd + geo_update + cull),
+        Segment("PCIe", "D2H", max(peek * 0.2 + h2d * 0.3, 0.0) + fwd_bwd,
+                max(peek * 0.2 + h2d * 0.3, 0.0) + fwd_bwd + d2h),
+    ]
+    return IterationSim(
+        time=time,
+        breakdown={
+            "cull": cull,
+            "h2d": h2d,
+            "fwd_bwd": fwd_bwd,
+            "d2h": d2h,
+            "optimizer": peek + update,
+            "misc": ITERATION_OVERHEAD_S + split_overhead,
+        },
+        segments=segments,
+    )
+
+
+@dataclass
+class EpochResult:
+    """Simulated epoch of training on one platform/system/scene.
+
+    Attributes:
+        system: system name.
+        platform_key: platform registry key.
+        scene_name: workload label.
+        oom: True when the system cannot train the scene at all (either
+            GPU memory or — for offloading systems — host memory).
+        host_oom: True when specifically the *host* DRAM is the limit.
+        seconds: epoch wall-clock (inf when OOM).
+        images_per_second: training throughput (0 when OOM).
+        breakdown: per-stage seconds summed over the epoch.
+        peak_memory_bytes: modeled peak GPU allocation.
+    """
+
+    system: str
+    platform_key: str
+    scene_name: str
+    oom: bool
+    seconds: float
+    images_per_second: float
+    breakdown: dict[str, float]
+    peak_memory_bytes: int
+    host_oom: bool = False
+
+
+def peak_memory(
+    system: str,
+    n_total: int,
+    num_pixels: int,
+    peak_active_ratio: float,
+    mem_limit: float = 0.3,
+):
+    """Memory breakdown at the epoch's worst view for ``system``."""
+    if system == "gpu_only":
+        return gpu_only_breakdown(n_total, num_pixels)
+    if system == "baseline_offload":
+        return baseline_offload_breakdown(n_total, num_pixels, peak_active_ratio)
+    if system in ("gsscale", "gsscale_no_deferred"):
+        return gsscale_breakdown(n_total, num_pixels, peak_active_ratio, mem_limit)
+    raise ValueError(f"unknown system {system!r}")
+
+
+def simulate_epoch(
+    platform: Platform,
+    trace: WorkloadTrace,
+    system: str,
+    num_pixels: int,
+    mem_limit: float = 0.3,
+) -> EpochResult:
+    """Run one epoch of ``trace`` through ``system`` on ``platform``."""
+    n_total = trace.total_gaussians
+    if system in ("gsscale", "gsscale_no_deferred"):
+        # image splitting bounds the staged window by the worst *per-pass*
+        # ratio across the epoch, not the worst raw view
+        staged_peak = trace.clipped(mem_limit).peak_ratio
+    else:
+        staged_peak = trace.peak_ratio
+    mem = peak_memory(system, n_total, num_pixels, staged_peak, mem_limit)
+    gpu_ok = fits(mem, platform.gpu)
+    host_ok = fits_host(n_total, system, platform.host_memory_bytes)
+    if not gpu_ok or not host_ok:
+        return EpochResult(
+            system=system,
+            platform_key=platform.key,
+            scene_name=trace.scene_name,
+            oom=True,
+            seconds=float("inf"),
+            images_per_second=0.0,
+            breakdown={},
+            peak_memory_bytes=mem.total,
+            host_oom=not host_ok,
+        )
+
+    cost = CostModel(platform)
+    total = 0.0
+    breakdown: dict[str, float] = {}
+    for ratio in trace.active_ratios:
+        it = simulate_iteration(
+            system, cost, n_total, float(ratio), num_pixels, mem_limit
+        )
+        total += it.time
+        for k, v in it.breakdown.items():
+            breakdown[k] = breakdown.get(k, 0.0) + v
+    return EpochResult(
+        system=system,
+        platform_key=platform.key,
+        scene_name=trace.scene_name,
+        oom=False,
+        seconds=total,
+        images_per_second=trace.num_views / total,
+        breakdown=breakdown,
+        peak_memory_bytes=mem.total,
+    )
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (paper's summary statistic)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,10 @@
+"""Training-loop building blocks shared by all system variants."""
+
+from .loss import DEFAULT_SSIM_LAMBDA, LossResult, l1_with_grad, photometric_loss
+
+__all__ = [
+    "DEFAULT_SSIM_LAMBDA",
+    "LossResult",
+    "l1_with_grad",
+    "photometric_loss",
+]

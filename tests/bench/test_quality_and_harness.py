@@ -1,0 +1,96 @@
+"""Tests for the quality-scaling model and the bench report harness."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    LPIPS_DECADE_FACTOR,
+    QualityModel,
+    Table,
+    TABLE3_QUALITY,
+    write_report,
+)
+
+
+class TestQualityModel:
+    def test_table3_anchor_reproduced(self):
+        """At the reference count, the model returns Table 3's values."""
+        for key, (p, s, l) in TABLE3_QUALITY.items():
+            m = QualityModel(key)
+            assert m.psnr(m.ref_n) == pytest.approx(p)
+            assert m.ssim(m.ref_n) == pytest.approx(s)
+            assert m.lpips(m.ref_n) == pytest.approx(l)
+
+    def test_section56_laptop_deltas(self):
+        """4M -> 18M: +2.6% PSNR, +5.1% SSIM, -28.7% LPIPS (geomean)."""
+        rel_psnr, rel_ssim, rel_lpips = [], [], []
+        for key in TABLE3_QUALITY:
+            m = QualityModel(key)
+            rel_psnr.append(m.psnr(18e6) / m.psnr(4e6))
+            rel_ssim.append(m.ssim(18e6) / m.ssim(4e6))
+            rel_lpips.append(m.lpips(18e6) / m.lpips(4e6))
+        assert np.mean(rel_psnr) == pytest.approx(1.026, abs=0.004)
+        assert np.mean(rel_ssim) == pytest.approx(1.051, abs=0.004)
+        assert np.mean(rel_lpips) == pytest.approx(0.713, abs=0.01)
+
+    def test_monotone(self):
+        m = QualityModel("rubble")
+        counts = [1e6, 4e6, 9e6, 18e6, 40e6]
+        psnr = [m.psnr(c) for c in counts]
+        lpips = [m.lpips(c) for c in counts]
+        assert psnr == sorted(psnr)
+        assert lpips == sorted(lpips, reverse=True)
+
+    def test_ssim_clamped(self):
+        m = QualityModel("sztu")
+        assert m.ssim(1e12) <= 0.999
+        assert m.ssim(1) > 0.0
+
+    def test_unknown_scene(self):
+        with pytest.raises(KeyError):
+            QualityModel("atlantis")
+
+    def test_lpips_decade_factor_sane(self):
+        assert 0.5 < LPIPS_DECADE_FACTOR < 0.7
+
+    def test_sweep(self):
+        pts = QualityModel("building").sweep([1e6, 2e6])
+        assert len(pts) == 2
+        assert pts[0].num_gaussians == 1_000_000
+
+
+class TestHarnessTable:
+    def test_render_aligned(self):
+        t = Table(title="T", columns=["a", "bbbb"], rows=[[1, 2.5]])
+        out = t.render()
+        assert "T" in out and "a" in out and "2.50" in out
+
+    def test_row_validation(self):
+        t = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_notes_rendered(self):
+        t = Table(title="T", columns=["a"], notes=["hello"])
+        t.add_row(1)
+        assert "note: hello" in t.render()
+
+    def test_float_formatting(self):
+        t = Table(title="T", columns=["a", "b", "c", "d"])
+        t.add_row(1234.5, 12.345, 0.0123, 0)
+        out = t.render()
+        assert "1234" in out  # >=100 has no decimals
+        assert "12.35" in out or "12.34" in out
+        assert "0.012" in out
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "output_dir", lambda: str(tmp_path))
+        t = Table(title="X", columns=["v"])
+        t.add_row(42)
+        text = harness.write_report("unit_test_report", t)
+        assert "42" in text
+        assert os.path.exists(tmp_path / "unit_test_report.txt")

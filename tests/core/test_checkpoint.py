@@ -1,0 +1,97 @@
+"""Tests for checkpoint save/resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import GSScaleConfig, create_system
+from repro.core.checkpoint import load_checkpoint, resume_model, save_checkpoint
+from repro.datasets import SyntheticSceneConfig, build_scene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene(
+        SyntheticSceneConfig(
+            num_points=140, width=24, height=18,
+            num_train_cameras=3, num_test_cameras=1,
+            altitude=9.0, seed=101,
+        )
+    )
+
+
+def cfg(scene, system):
+    return GSScaleConfig(
+        system=system, scene_extent=scene.extent, ssim_lambda=0.0,
+        mem_limit=1.0, seed=0,
+    )
+
+
+def steps(system, scene, count, start=0):
+    for i in range(start, start + count):
+        system.step(
+            scene.train_cameras[i % 3], scene.train_images[i % 3]
+        )
+
+
+@pytest.mark.parametrize(
+    "system_name", ["gpu_only", "baseline_offload", "gsscale_no_deferred",
+                    "gsscale"]
+)
+class TestResume:
+    def test_resume_continues_identically(self, tmp_path, scene, system_name):
+        """train 6 == train 3, checkpoint, restore, train 3."""
+        path = str(tmp_path / f"{system_name}.npz")
+
+        straight = create_system(scene.initial.copy(), cfg(scene, system_name))
+        steps(straight, scene, 6)
+        straight.finalize()
+
+        first = create_system(scene.initial.copy(), cfg(scene, system_name))
+        steps(first, scene, 3)
+        save_checkpoint(path, first)
+
+        resumed = create_system(scene.initial.copy(), cfg(scene, system_name))
+        load_checkpoint(path, resumed)
+        steps(resumed, scene, 3, start=3)
+        resumed.finalize()
+
+        # checkpointing commits pending gradients, which reorders the
+        # forwarding pipeline's commit point — identical math, so results
+        # must agree to float/approximation tolerance
+        np.testing.assert_allclose(
+            resumed.materialized_model().params,
+            straight.materialized_model().params,
+            rtol=1e-6,
+            atol=1e-8,
+        )
+
+    def test_iteration_counter_restored(self, tmp_path, scene, system_name):
+        path = str(tmp_path / f"{system_name}_it.npz")
+        s = create_system(scene.initial.copy(), cfg(scene, system_name))
+        steps(s, scene, 4)
+        save_checkpoint(path, s)
+        fresh = create_system(scene.initial.copy(), cfg(scene, system_name))
+        load_checkpoint(path, fresh)
+        assert fresh.iteration == 4
+
+
+class TestValidation:
+    def test_system_mismatch_rejected(self, tmp_path, scene):
+        path = str(tmp_path / "a.npz")
+        s = create_system(scene.initial.copy(), cfg(scene, "gpu_only"))
+        steps(s, scene, 1)
+        save_checkpoint(path, s)
+        other = create_system(scene.initial.copy(), cfg(scene, "gsscale"))
+        with pytest.raises(ValueError):
+            load_checkpoint(path, other)
+
+    def test_resume_model_extraction(self, tmp_path, scene):
+        for name in ("gpu_only", "gsscale"):
+            path = str(tmp_path / f"{name}_m.npz")
+            s = create_system(scene.initial.copy(), cfg(scene, name))
+            steps(s, scene, 2)
+            save_checkpoint(path, s)
+            model = resume_model(path)
+            np.testing.assert_allclose(
+                model.params, s.materialized_model().params, rtol=1e-12
+            )

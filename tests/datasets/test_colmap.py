@@ -1,0 +1,127 @@
+"""Round-trip and parsing tests for COLMAP text-format ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.cameras import Camera, trajectories
+from repro.datasets.colmap import (
+    ColmapScene,
+    load_colmap,
+    write_colmap,
+    _rotation_to_quat,
+)
+from repro.gaussians.quaternion import normalize, to_rotation_matrix
+
+
+def make_cameras(n=5):
+    return trajectories.orbit(
+        [0, 0, 0], radius=4.0, height=2.0, num_cameras=n, width=64, height_px=48
+    )
+
+
+class TestRotationToQuat:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_roundtrip_random_rotations(self, seed):
+        rng = np.random.default_rng(seed)
+        q = normalize(rng.normal(size=(1, 4)))
+        rot = to_rotation_matrix(q)[0]
+        w, x, y, z = _rotation_to_quat(rot)
+        rot2 = to_rotation_matrix(np.array([[w, x, y, z]]))[0]
+        np.testing.assert_allclose(rot2, rot, atol=1e-12)
+
+    def test_identity(self):
+        w, x, y, z = _rotation_to_quat(np.eye(3))
+        assert w == pytest.approx(1.0)
+        assert (x, y, z) == (0.0, 0.0, 0.0)
+
+    def test_180_degree_rotations(self):
+        """The trace<=0 branches."""
+        for axis in range(3):
+            rot = -np.eye(3)
+            rot[axis, axis] = 1.0
+            w, x, y, z = _rotation_to_quat(rot)
+            rot2 = to_rotation_matrix(np.array([[w, x, y, z]]))[0]
+            np.testing.assert_allclose(rot2, rot, atol=1e-12)
+
+
+class TestRoundTrip:
+    def test_cameras_and_points(self, tmp_path):
+        cams = make_cameras()
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-2, 2, size=(40, 3))
+        cols = rng.uniform(0, 1, size=(40, 3))
+        write_colmap(str(tmp_path), cams, pts, cols)
+        scene = load_colmap(str(tmp_path))
+        assert isinstance(scene, ColmapScene)
+        assert len(scene.cameras) == 5
+        np.testing.assert_allclose(scene.points, pts, atol=1e-8)
+        # colors quantized to 8 bits on write
+        np.testing.assert_allclose(scene.colors, cols, atol=1 / 255.0)
+        for orig, loaded in zip(cams, scene.cameras):
+            np.testing.assert_allclose(
+                loaded.world_to_cam_rot, orig.world_to_cam_rot, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                loaded.world_to_cam_trans, orig.world_to_cam_trans, atol=1e-9
+            )
+            assert loaded.fx == pytest.approx(orig.fx)
+            assert (loaded.width, loaded.height) == (orig.width, orig.height)
+
+    def test_projection_preserved(self, tmp_path):
+        """A world point projects to the same pixel before and after."""
+        cams = make_cameras(2)
+        pt = np.array([[0.3, -0.2, 0.5]])
+        write_colmap(str(tmp_path), cams, np.zeros((1, 3)), np.zeros((1, 3)))
+        scene = load_colmap(str(tmp_path))
+        for orig, loaded in zip(cams, scene.cameras):
+            uv0 = orig.project(orig.world_to_cam(pt))
+            uv1 = loaded.project(loaded.world_to_cam(pt))
+            np.testing.assert_allclose(uv1, uv0, atol=1e-7)
+
+    def test_image_names(self, tmp_path):
+        cams = make_cameras(2)
+        write_colmap(
+            str(tmp_path), cams, np.zeros((0, 3)), np.zeros((0, 3)),
+            image_names=["a.png", "b.png"],
+        )
+        scene = load_colmap(str(tmp_path))
+        assert scene.image_names == ["a.png", "b.png"]
+        assert scene.points.shape == (0, 3)
+
+
+class TestParsing:
+    def test_simple_pinhole(self, tmp_path):
+        (tmp_path / "cameras.txt").write_text(
+            "# comment\n1 SIMPLE_PINHOLE 100 80 90.0 50.0 40.0\n"
+        )
+        (tmp_path / "images.txt").write_text(
+            "1 1 0 0 0 0.5 -0.25 2.0 1 im.png\n\n"
+        )
+        (tmp_path / "points3D.txt").write_text(
+            "7 1.0 2.0 3.0 255 0 128 0.5\n"
+        )
+        scene = load_colmap(str(tmp_path))
+        cam = scene.cameras[0]
+        assert cam.fx == cam.fy == 90.0
+        assert (cam.cx, cam.cy) == (50.0, 40.0)
+        np.testing.assert_allclose(scene.points[0], [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(scene.colors[0], [1.0, 0.0, 128 / 255])
+
+    def test_unsupported_model(self, tmp_path):
+        (tmp_path / "cameras.txt").write_text("1 OPENCV 10 10 1 1 1 1 0 0 0 0\n")
+        (tmp_path / "images.txt").write_text("")
+        with pytest.raises(ValueError):
+            load_colmap(str(tmp_path))
+
+    def test_feeds_gaussian_initialization(self, tmp_path):
+        """The classic pipeline: COLMAP cloud -> initial Gaussians."""
+        from repro.gaussians import GaussianModel
+
+        cams = make_cameras(3)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-2, 2, size=(30, 3))
+        cols = rng.uniform(0, 1, size=(30, 3))
+        write_colmap(str(tmp_path), cams, pts, cols)
+        scene = load_colmap(str(tmp_path))
+        model = GaussianModel.from_point_cloud(scene.points, scene.colors)
+        assert model.num_gaussians == 30

@@ -1,0 +1,114 @@
+"""Tests for the scene registry and workload-trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_AVG_ACTIVE_RATIO,
+    SceneSpec,
+    all_scenes,
+    build_scene,
+    get_scene,
+    measure_trace,
+    synthesize_trace,
+    SyntheticSceneConfig,
+)
+
+
+class TestRegistry:
+    def test_six_scenes(self):
+        scenes = all_scenes()
+        assert len(scenes) == 6
+        assert [s.name for s in scenes] == [
+            "Rubble", "Building", "LFLS", "SZIIT", "SZTU", "Aerial",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_scene("RUBBLE").name == "Rubble"
+        with pytest.raises(KeyError):
+            get_scene("nonexistent")
+
+    def test_figure4_average(self):
+        """The six active ratios average to the paper's 8.28%."""
+        ratios = [s.avg_active_ratio for s in all_scenes()]
+        assert np.mean(ratios) == pytest.approx(PAPER_AVG_ACTIVE_RATIO, abs=0.005)
+
+    def test_resolutions_match_table2(self):
+        assert get_scene("rubble").resolution == (1152, 864)
+        assert get_scene("lfls").resolution == (1600, 1064)
+        assert get_scene("aerial").resolution == (1600, 900)
+
+    def test_aerial_has_no_small_variant(self):
+        assert get_scene("aerial").small_total_gaussians is None
+        for key in ("rubble", "building", "lfls", "sziit", "sztu"):
+            assert get_scene(key).small_total_gaussians is not None
+
+    def test_peak_exceeds_avg(self):
+        for s in all_scenes():
+            assert s.peak_active_ratio > s.avg_active_ratio
+
+
+class TestSynthesizeTrace:
+    def test_statistics_match_spec(self):
+        spec = get_scene("rubble")
+        trace = synthesize_trace(spec, num_views=4000, seed=0)
+        assert trace.avg_ratio == pytest.approx(spec.avg_active_ratio, rel=0.15)
+        assert trace.peak_ratio == pytest.approx(spec.peak_active_ratio, rel=1e-9)
+        assert trace.active_ratios.min() > 0
+
+    def test_deterministic(self):
+        spec = get_scene("building")
+        a = synthesize_trace(spec, num_views=100, seed=5)
+        b = synthesize_trace(spec, num_views=100, seed=5)
+        np.testing.assert_array_equal(a.active_ratios, b.active_ratios)
+
+    def test_small_variant_total(self):
+        spec = get_scene("lfls")
+        trace = synthesize_trace(spec, num_views=10, use_small=True)
+        assert trace.total_gaussians == spec.small_total_gaussians
+        with pytest.raises(ValueError):
+            synthesize_trace(get_scene("aerial"), num_views=10, use_small=True)
+
+    def test_clipped_caps_peak(self):
+        spec = get_scene("rubble")
+        trace = synthesize_trace(spec, num_views=500, seed=1)
+        clipped = trace.clipped(mem_limit=0.15)
+        assert clipped.peak_ratio <= 0.15 + 1e-12
+        # views under the limit are untouched
+        under = trace.active_ratios <= 0.15
+        np.testing.assert_array_equal(
+            clipped.active_ratios[under], trace.active_ratios[under]
+        )
+
+    def test_active_counts(self):
+        spec = get_scene("sztu")
+        trace = synthesize_trace(spec, num_views=50, seed=2)
+        counts = trace.active_counts()
+        assert counts.shape == (50,)
+        assert counts.max() <= spec.total_gaussians
+
+
+class TestMeasureTrace:
+    def test_on_synthetic_scene(self):
+        scene = build_scene(
+            SyntheticSceneConfig(
+                num_points=300, width=32, height=24,
+                num_train_cameras=4, num_test_cameras=2, seed=7,
+            )
+        )
+        trace = measure_trace(scene.oracle, scene.train_cameras)
+        assert trace.num_views == 4
+        assert 0 < trace.avg_ratio <= 1.0
+        assert trace.peak_ratio >= trace.avg_ratio
+        assert trace.total_gaussians == scene.oracle.num_gaussians
+
+
+class TestSpecProperties:
+    def test_num_pixels(self):
+        spec = SceneSpec(
+            name="X", dataset="D", width=100, height=50,
+            scene_type="t", total_gaussians=10, small_total_gaussians=5,
+            avg_active_ratio=0.1, peak_active_ratio=0.2, num_train_images=3,
+        )
+        assert spec.num_pixels == 5000
+        assert spec.resolution == (100, 50)

@@ -1,0 +1,113 @@
+"""Tests for the GaussianModel SoA container and layout module."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians import GaussianModel, layout
+
+
+def make_model(n=10, seed=0, dtype=np.float32):
+    rng = np.random.default_rng(seed)
+    return GaussianModel(rng.normal(size=(n, layout.PARAM_DIM)).astype(dtype))
+
+
+class TestLayout:
+    def test_param_dim_is_59(self):
+        assert layout.PARAM_DIM == 59
+
+    def test_geometric_is_10_of_59(self):
+        assert layout.GEOMETRIC_DIM == 10
+        assert layout.NON_GEOMETRIC_DIM == 49
+        assert abs(layout.GEOMETRIC_FRACTION - 10 / 59) < 1e-12
+
+    def test_attribute_slices_cover_disjointly(self):
+        cols = []
+        for spec in layout.ATTRIBUTES:
+            cols.extend(range(spec.start, spec.start + spec.width))
+        assert cols == list(range(layout.PARAM_DIM))
+
+    def test_attribute_lookup(self):
+        assert layout.attribute("sh").width == 48
+        with pytest.raises(KeyError):
+            layout.attribute("nope")
+
+    def test_train_state_bytes(self):
+        # paper Section 3.1: params+grads+2 moments = 4x params
+        assert layout.train_state_bytes(1) == 4 * 59 * 4
+        # Rubble anchor: ~40M Gaussians -> ~38 GB of state (53 GB total
+        # with activations per the paper intro)
+        gb = layout.train_state_bytes(40_000_000) / 2**30
+        assert 30 < gb < 40
+
+
+class TestModelViews:
+    def test_views_share_memory(self):
+        m = make_model()
+        m.means[0, 0] = 123.0
+        assert m.params[0, 0] == 123.0
+        m.sh[0, 0, 0] = 7.0  # reshaped view still aliases
+        assert m.params[0, layout.SH_SLICE.start] == 7.0
+
+    def test_shapes(self):
+        m = make_model(n=5)
+        assert m.means.shape == (5, 3)
+        assert m.log_scales.shape == (5, 3)
+        assert m.quats.shape == (5, 4)
+        assert m.opacity_logits.shape == (5, 1)
+        assert m.sh.shape == (5, 16, 3)
+        assert m.geometric.shape == (5, 10)
+        assert m.non_geometric.shape == (5, 49)
+        assert len(m) == 5
+
+    def test_activations(self):
+        m = make_model()
+        np.testing.assert_allclose(
+            m.opacities, 1 / (1 + np.exp(-m.opacity_logits[:, 0])), rtol=1e-6
+        )
+        np.testing.assert_allclose(m.scales, np.exp(m.log_scales), rtol=1e-6)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            GaussianModel(np.zeros((3, 10)))
+
+
+class TestConstruction:
+    def test_from_attributes_roundtrip(self):
+        rng = np.random.default_rng(1)
+        n = 6
+        means = rng.normal(size=(n, 3))
+        ls = rng.normal(size=(n, 3))
+        q = rng.normal(size=(n, 4))
+        op = rng.normal(size=(n,))
+        sh = rng.normal(size=(n, 16, 3))
+        m = GaussianModel.from_attributes(means, ls, q, op, sh)
+        np.testing.assert_allclose(m.means, means, rtol=1e-6)
+        np.testing.assert_allclose(m.sh, sh, rtol=1e-6)
+
+    def test_from_point_cloud(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(-1, 1, size=(50, 3))
+        colors = rng.uniform(0, 1, size=(50, 3))
+        m = GaussianModel.from_point_cloud(pts, colors, initial_opacity=0.1)
+        assert m.num_gaussians == 50
+        np.testing.assert_allclose(m.means, pts, atol=1e-6)
+        np.testing.assert_allclose(m.opacities, 0.1, atol=1e-6)
+        # identity rotations
+        np.testing.assert_allclose(m.quats[:, 0], 1.0)
+        np.testing.assert_allclose(m.quats[:, 1:], 0.0)
+        # DC SH reproduces colors through the C0 convention
+        from repro.gaussians.sh import C0
+
+        np.testing.assert_allclose(
+            m.sh[:, 0, :] * C0 + 0.5, colors, atol=1e-5
+        )
+
+    def test_select_append(self):
+        m = make_model(n=8)
+        sub = m.select(np.array([1, 3]))
+        assert sub.num_gaussians == 2
+        joined = sub.append(m.select(np.array([0])))
+        assert joined.num_gaussians == 3
+        # copies, not views
+        sub.params[0, 0] = 1e9
+        assert m.params[1, 0] != 1e9

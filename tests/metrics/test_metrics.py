@@ -1,0 +1,164 @@
+"""Tests for PSNR, SSIM (incl. analytic gradient), and the LPIPS proxy."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import perceptual_distance, psnr, ssim, ssim_with_grad
+
+
+def random_image(h=32, w=40, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, size=(h, w, 3))
+
+
+class TestPSNR:
+    def test_identical_is_inf(self):
+        img = random_image()
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4, 3))
+        b = np.full((4, 4, 3), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0, abs=1e-9)  # mse = 0.01
+
+    def test_monotone_in_noise(self):
+        ref = random_image(seed=1)
+        rng = np.random.default_rng(2)
+        noise = rng.normal(size=ref.shape)
+        p1 = psnr(ref + 0.01 * noise, ref)
+        p2 = psnr(ref + 0.05 * noise, ref)
+        assert p1 > p2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2, 3)), np.zeros((3, 2, 3)))
+
+
+class TestSSIM:
+    def test_identical_is_one(self):
+        img = random_image()
+        assert ssim(img, img) == pytest.approx(1.0, abs=1e-9)
+
+    def test_bounded(self):
+        a = random_image(seed=3)
+        b = random_image(seed=4)
+        v = ssim(a, b)
+        assert -1.0 <= v < 1.0
+
+    def test_noise_degrades(self):
+        ref = random_image(seed=5)
+        rng = np.random.default_rng(6)
+        noisy = np.clip(ref + 0.2 * rng.normal(size=ref.shape), 0, 1)
+        assert ssim(noisy, ref) < ssim(ref, ref)
+
+    def test_grayscale_supported(self):
+        a = np.random.default_rng(7).uniform(size=(20, 20))
+        assert ssim(a, a) == pytest.approx(1.0, abs=1e-9)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(8)
+        x = rng.uniform(0.2, 0.8, size=(12, 10, 3))
+        y = rng.uniform(0.2, 0.8, size=(12, 10, 3))
+        val, grad = ssim_with_grad(x, y, window=5)
+        eps = 1e-6
+        idx = [(0, 0, 0), (5, 4, 1), (11, 9, 2), (6, 6, 0), (3, 9, 2)]
+        for i, j, c in idx:
+            orig = x[i, j, c]
+            x[i, j, c] = orig + eps
+            hi = ssim(x, y, window=5)
+            x[i, j, c] = orig - eps
+            lo = ssim(x, y, window=5)
+            x[i, j, c] = orig
+            numeric = (hi - lo) / (2 * eps)
+            assert grad[i, j, c] == pytest.approx(numeric, abs=1e-8)
+
+    def test_grad_zero_at_identity(self):
+        """SSIM is maximized at x == y, so the gradient interior ~ 0."""
+        img = random_image(seed=9)
+        _, grad = ssim_with_grad(img, img)
+        # gradient at the maximum vanishes (up to float noise)
+        assert np.abs(grad).max() < 1e-10
+
+
+class TestPerceptual:
+    def test_identical_is_zero(self):
+        img = random_image()
+        assert perceptual_distance(img, img) == pytest.approx(0.0, abs=1e-15)
+
+    def test_symmetry(self):
+        a = random_image(seed=10)
+        b = random_image(seed=11)
+        assert perceptual_distance(a, b) == pytest.approx(
+            perceptual_distance(b, a), rel=1e-12
+        )
+
+    def test_monotone_in_corruption(self):
+        ref = random_image(h=48, w=48, seed=12)
+        rng = np.random.default_rng(13)
+        noise = rng.normal(size=ref.shape)
+        d = [
+            perceptual_distance(np.clip(ref + s * noise, 0, 1), ref)
+            for s in (0.02, 0.1, 0.3)
+        ]
+        assert d[0] < d[1] < d[2]
+
+    def test_blur_detected(self):
+        """Blurring (what too-few Gaussians does) increases the distance."""
+        from scipy.ndimage import gaussian_filter
+
+        ref = random_image(h=48, w=48, seed=14)
+        blurred = np.stack(
+            [gaussian_filter(ref[:, :, c], 2.0) for c in range(3)], axis=2
+        )
+        assert perceptual_distance(blurred, ref) > 0.01
+
+    def test_deterministic(self):
+        a = random_image(seed=15)
+        b = random_image(seed=16)
+        assert perceptual_distance(a, b) == perceptual_distance(a, b)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            perceptual_distance(np.zeros((2, 2, 3)), np.zeros((2, 2, 3)))
+
+    def test_requires_rgb(self):
+        with pytest.raises(ValueError):
+            perceptual_distance(np.zeros((8, 8)), np.zeros((8, 8)))
+
+
+class TestPhotometricLoss:
+    def test_zero_at_identity(self):
+        from repro.train import photometric_loss
+
+        img = random_image(seed=17)
+        res = photometric_loss(img, img)
+        assert res.loss == pytest.approx(0.0, abs=1e-9)
+        assert res.l1 == pytest.approx(0.0)
+        assert res.ssim == pytest.approx(1.0, abs=1e-9)
+
+    def test_gradient_matches_numerical(self):
+        from repro.train import photometric_loss
+
+        rng = np.random.default_rng(18)
+        x = rng.uniform(0.2, 0.8, size=(10, 8, 3))
+        y = rng.uniform(0.2, 0.8, size=(10, 8, 3))
+        res = photometric_loss(x, y, ssim_lambda=0.2)
+        eps = 1e-7
+        for i, j, c in [(0, 0, 0), (4, 4, 1), (9, 7, 2)]:
+            orig = x[i, j, c]
+            x[i, j, c] = orig + eps
+            hi = photometric_loss(x, y, ssim_lambda=0.2).loss
+            x[i, j, c] = orig - eps
+            lo = photometric_loss(x, y, ssim_lambda=0.2).loss
+            x[i, j, c] = orig
+            assert res.grad_image[i, j, c] == pytest.approx(
+                (hi - lo) / (2 * eps), abs=1e-6
+            )
+
+    def test_lambda_zero_is_pure_l1(self):
+        from repro.train import photometric_loss
+
+        x = random_image(seed=19)
+        y = random_image(seed=20)
+        res = photometric_loss(x, y, ssim_lambda=0.0)
+        assert res.loss == pytest.approx(res.l1)
+        assert res.ssim == 0.0

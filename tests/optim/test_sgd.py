@@ -1,0 +1,143 @@
+"""Tests for dense and deferred momentum SGD (exact-restoration case)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim import DeferredSGD, DenseSGD, SGDConfig
+
+
+def run_pair(pattern, grads, config=None, max_defer=15):
+    config = config or SGDConfig(lr=0.01, momentum=0.9)
+    steps, n, d = grads.shape
+    rng = np.random.default_rng(77)
+    p0 = rng.normal(size=(n, d))
+    dense = DenseSGD(p0.copy(), config)
+    deferred = DeferredSGD(p0.copy(), config, max_defer=max_defer)
+    for t in range(steps):
+        mask = np.asarray(pattern[t], dtype=bool)
+        full = np.where(mask[:, None], grads[t], 0.0)
+        dense.step(full)
+        ids = np.nonzero(mask)[0]
+        deferred.step(ids, grads[t][ids])
+    return dense, deferred
+
+
+class TestDenseSGD:
+    def test_momentum_accumulates(self):
+        opt = DenseSGD(np.zeros((1, 1)), SGDConfig(lr=1.0, momentum=0.5))
+        g = np.ones((1, 1))
+        opt.step(g)
+        assert opt.params[0, 0] == pytest.approx(-1.0)
+        opt.step(g)
+        # m = 0.5*1 + 1 = 1.5 -> p = -1 - 1.5
+        assert opt.params[0, 0] == pytest.approx(-2.5)
+
+    def test_zero_momentum_is_plain_sgd(self):
+        opt = DenseSGD(np.zeros((2, 2)), SGDConfig(lr=0.1, momentum=0.0))
+        opt.step(np.ones((2, 2)))
+        np.testing.assert_allclose(opt.params, -0.1)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGDConfig(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGDConfig(momentum=-0.1)
+
+
+class TestDeferredSGD:
+    def test_exact_equality_when_all_active(self):
+        rng = np.random.default_rng(0)
+        grads = rng.normal(size=(8, 4, 3))
+        pattern = [np.ones(4, dtype=bool)] * 8
+        dense, deferred = run_pair(pattern, grads)
+        np.testing.assert_array_equal(deferred.params, dense.params)
+        np.testing.assert_array_equal(deferred.m, dense.m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        steps=st.integers(2, 25),
+        n=st.integers(1, 6),
+        density=st.floats(0.1, 0.9),
+    )
+    def test_property_exact_restoration(self, seed, steps, n, density):
+        """SGD restoration is a pure geometric series: near bit-exact."""
+        rng = np.random.default_rng(seed)
+        grads = rng.normal(size=(steps, n, 2))
+        pattern = [rng.random(n) < density for _ in range(steps)]
+        dense, deferred = run_pair(pattern, grads)
+        np.testing.assert_allclose(
+            deferred.materialized_params(), dense.params, rtol=1e-12, atol=1e-14
+        )
+
+    def test_flush_then_continue(self):
+        rng = np.random.default_rng(1)
+        cfg = SGDConfig(lr=0.05, momentum=0.8)
+        p0 = rng.normal(size=(3, 2))
+        dense = DenseSGD(p0.copy(), cfg)
+        deferred = DeferredSGD(p0.copy(), cfg)
+        for t in range(5):
+            ids = np.array([t % 3])
+            g = rng.normal(size=(1, 2))
+            full = np.zeros((3, 2))
+            full[ids] = g
+            dense.step(full)
+            deferred.step(ids, g)
+        deferred.flush()
+        np.testing.assert_allclose(deferred.params, dense.params, rtol=1e-12)
+        np.testing.assert_allclose(deferred.m, dense.m, rtol=1e-12)
+        for t in range(5):
+            ids = np.array([(t + 1) % 3])
+            g = rng.normal(size=(1, 2))
+            full = np.zeros((3, 2))
+            full[ids] = g
+            dense.step(full)
+            deferred.step(ids, g)
+        np.testing.assert_allclose(
+            deferred.materialized_params(), dense.params, rtol=1e-12
+        )
+
+    def test_saturation_commits(self):
+        cfg = SGDConfig(lr=0.1, momentum=0.9)
+        opt = DeferredSGD(np.zeros((2, 1)), cfg, max_defer=2)
+        opt.step(np.array([1]), np.ones((1, 1)))  # row 1 builds momentum
+        for _ in range(2):
+            opt.step(np.array([0]), np.ones((1, 1)))
+        stats = opt.step(np.array([0]), np.ones((1, 1)))
+        assert stats.rows_updated == 2
+        assert opt.counter[1] == 0
+
+
+class TestLrSchedule:
+    def test_packed_lr_vector_layout(self):
+        from repro.gaussians import layout
+        from repro.optim import packed_lr_vector
+
+        lr = packed_lr_vector(scene_extent=2.0)
+        assert lr.shape == (59,)
+        np.testing.assert_allclose(lr[layout.MEAN_SLICE], 1.6e-4 * 2.0)
+        np.testing.assert_allclose(lr[layout.OPACITY_SLICE], 5e-2)
+        # DC SH at full rate, higher bands divided by 20
+        sh = lr[layout.SH_SLICE]
+        np.testing.assert_allclose(sh[:3], 2.5e-3)
+        np.testing.assert_allclose(sh[3:], 2.5e-3 / 20)
+
+    def test_overrides(self):
+        from repro.optim import packed_lr_vector
+
+        lr = packed_lr_vector(overrides={"opacity": 0.1})
+        assert lr[10] == pytest.approx(0.1)
+        with pytest.raises(KeyError):
+            packed_lr_vector(overrides={"bogus": 1.0})
+
+    def test_exponential_decay_endpoints(self):
+        from repro.optim import exponential_decay
+
+        assert exponential_decay(0, 100, 1e-2, 1e-4) == pytest.approx(1e-2)
+        assert exponential_decay(100, 100, 1e-2, 1e-4) == pytest.approx(1e-4)
+        mid = exponential_decay(50, 100, 1e-2, 1e-4)
+        assert mid == pytest.approx(1e-3, rel=1e-6)  # log-linear midpoint
+        with pytest.raises(ValueError):
+            exponential_decay(1, 0, 1e-2, 1e-4)

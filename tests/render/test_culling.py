@@ -1,0 +1,105 @@
+"""Tests for two-stage frustum culling."""
+
+import numpy as np
+
+from repro.cameras import Camera
+from repro.render import frustum_cull
+
+
+def make_inputs(means, scale=0.1):
+    n = means.shape[0]
+    log_scales = np.full((n, 3), np.log(scale))
+    quats = np.zeros((n, 4))
+    quats[:, 0] = 1.0
+    return means.astype(np.float64), log_scales, quats
+
+
+def front_camera(width=64, height=48, near=0.5, far=50.0):
+    return Camera.look_at(
+        [0.0, -10.0, 0.0], [0.0, 0.0, 0.0], width=width, height=height,
+        near=near, far=far,
+    )
+
+
+class TestDepthStage:
+    def test_behind_camera_culled(self):
+        cam = front_camera()
+        means, ls, q = make_inputs(np.array([[0.0, 0.0, 0.0], [0.0, -20.0, 0.0]]))
+        res = frustum_cull(means, ls, q, cam)
+        assert list(res.valid_ids) == [0]
+        assert res.num_in_depth == 1
+
+    def test_beyond_far_culled(self):
+        cam = front_camera(far=15.0)
+        means, ls, q = make_inputs(np.array([[0.0, 0.0, 0.0], [0.0, 100.0, 0.0]]))
+        res = frustum_cull(means, ls, q, cam)
+        assert list(res.valid_ids) == [0]
+
+    def test_inside_near_culled(self):
+        cam = front_camera(near=5.0)
+        # 2 units in front of the camera -> inside near plane
+        means, ls, q = make_inputs(np.array([[0.0, -8.0, 0.0]]))
+        res = frustum_cull(means, ls, q, cam)
+        assert res.num_visible == 0
+
+
+class TestImageStage:
+    def test_off_screen_culled(self):
+        cam = front_camera()
+        # far to the side: passes depth stage, fails image bounds
+        means, ls, q = make_inputs(
+            np.array([[0.0, 0.0, 0.0], [500.0, 0.0, 0.0]])
+        )
+        res = frustum_cull(means, ls, q, cam)
+        assert list(res.valid_ids) == [0]
+        assert res.num_in_depth == 2
+
+    def test_large_gaussian_overlapping_edge_kept(self):
+        cam = front_camera()
+        # center projects off-screen but the 3-sigma splat reaches in
+        edge_x = 10.5  # just outside the horizontal frustum at y=0
+        means, ls, q = make_inputs(np.array([[edge_x, 0.0, 0.0]]), scale=3.0)
+        res = frustum_cull(means, ls, q, cam)
+        assert res.num_visible == 1
+
+    def test_tiny_gaussian_outside_edge_culled(self):
+        cam = front_camera()
+        means, ls, q = make_inputs(np.array([[30.0, 0.0, 0.0]]), scale=0.01)
+        res = frustum_cull(means, ls, q, cam)
+        assert res.num_visible == 0
+
+
+class TestStats:
+    def test_active_ratio(self):
+        cam = front_camera()
+        rng = np.random.default_rng(0)
+        # half the points behind the camera
+        front = rng.uniform(-1, 1, size=(50, 3))
+        back = front.copy()
+        back[:, 1] = -30.0
+        means, ls, q = make_inputs(np.concatenate([front, back]))
+        res = frustum_cull(means, ls, q, cam)
+        assert res.num_total == 100
+        assert res.active_ratio == res.num_visible / 100
+        assert 0.4 <= res.active_ratio <= 0.5
+
+    def test_empty_scene(self):
+        cam = front_camera()
+        means, ls, q = make_inputs(np.zeros((0, 3)))
+        res = frustum_cull(means, ls, q, cam)
+        assert res.num_visible == 0
+        assert res.active_ratio == 0.0
+
+    def test_all_behind(self):
+        cam = front_camera()
+        means, ls, q = make_inputs(np.array([[0.0, -30.0, 0.0]]))
+        res = frustum_cull(means, ls, q, cam)
+        assert res.num_visible == 0
+        assert res.valid_ids.size == 0
+
+    def test_valid_ids_sorted_unique(self):
+        cam = front_camera()
+        rng = np.random.default_rng(1)
+        means, ls, q = make_inputs(rng.uniform(-2, 2, size=(200, 3)))
+        res = frustum_cull(means, ls, q, cam)
+        assert np.all(np.diff(res.valid_ids) > 0)

@@ -1,0 +1,95 @@
+"""Tests for depth/alpha auxiliary render maps."""
+
+import numpy as np
+import pytest
+
+from repro.cameras import Camera
+from repro.gaussians import GaussianModel
+from repro.render.maps import render_depth_alpha
+
+
+def plane_of_gaussians(y, n_side=5, spread=1.2, opacity=3.0, scale=0.35):
+    """A grid of opaque Gaussians on the plane at world-space y."""
+    xs = np.linspace(-spread, spread, n_side)
+    zs = np.linspace(-spread, spread, n_side)
+    pts = np.array([[x, y, z] for x in xs for z in zs])
+    n = len(pts)
+    return GaussianModel.from_attributes(
+        means=pts,
+        log_scales=np.full((n, 3), np.log(scale)),
+        quats=np.tile([1.0, 0, 0, 0], (n, 1)),
+        opacity_logits=np.full(n, opacity),
+        sh=np.zeros((n, 16, 3)),
+        dtype=np.float64,
+    )
+
+
+@pytest.fixture
+def camera():
+    return Camera.look_at([0.0, -4.0, 0.0], [0.0, 0.0, 0.0],
+                          width=32, height=32, fov_x_deg=50.0)
+
+
+class TestDepth:
+    def test_plane_depth_value(self, camera):
+        model = plane_of_gaussians(y=0.0)
+        res = render_depth_alpha(model, camera)
+        center = res.depth[16, 16]
+        # the plane sits 4 units in front of the camera
+        assert center == pytest.approx(4.0, abs=0.2)
+
+    def test_nearer_plane_wins(self, camera):
+        near_plane = plane_of_gaussians(y=-1.0)  # 3 units away
+        far_plane = plane_of_gaussians(y=2.0)  # 6 units away
+        both = near_plane.append(far_plane)
+        res = render_depth_alpha(both, camera)
+        assert res.depth[16, 16] == pytest.approx(3.0, abs=0.25)
+
+    def test_uncovered_pixels_zero(self, camera):
+        model = plane_of_gaussians(y=0.0, n_side=1, spread=0.0, scale=0.1)
+        res = render_depth_alpha(model, camera)
+        assert res.depth[0, 0] == 0.0
+        assert res.alpha[0, 0] == 0.0
+
+    def test_unnormalized_depth_premultiplied(self, camera):
+        model = plane_of_gaussians(y=0.0)
+        raw = render_depth_alpha(model, camera, normalize=False)
+        norm = render_depth_alpha(model, camera, normalize=True)
+        covered = norm.alpha > 0.5
+        np.testing.assert_allclose(
+            raw.depth[covered] / norm.alpha[covered],
+            norm.depth[covered],
+            rtol=1e-9,
+        )
+
+
+class TestAlpha:
+    def test_alpha_in_unit_range(self, camera):
+        model = plane_of_gaussians(y=0.0)
+        res = render_depth_alpha(model, camera)
+        assert res.alpha.min() >= 0.0
+        assert res.alpha.max() <= 1.0
+
+    def test_opaque_plane_near_one(self, camera):
+        model = plane_of_gaussians(y=0.0, opacity=6.0)
+        res = render_depth_alpha(model, camera)
+        assert res.alpha[16, 16] > 0.95
+
+    def test_alpha_matches_color_transmittance(self, camera):
+        """alpha map == 1 - final transmittance of the color pass."""
+        from repro.render import render
+
+        model = plane_of_gaussians(y=0.0)
+        res_rgb = render(model, camera)
+        res_da = render_depth_alpha(
+            model, camera, valid_ids=res_rgb.valid_ids
+        )
+        np.testing.assert_allclose(
+            res_da.alpha, 1.0 - res_rgb.raster.final_transmittance, atol=1e-12
+        )
+
+    def test_empty_model(self, camera):
+        model = GaussianModel(np.zeros((0, 59)))
+        res = render_depth_alpha(model, camera)
+        np.testing.assert_allclose(res.alpha, 0.0)
+        np.testing.assert_allclose(res.depth, 0.0)

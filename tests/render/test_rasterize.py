@@ -1,0 +1,139 @@
+"""Unit tests for the forward rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.render.rasterize import (
+    RasterConfig,
+    rasterize,
+    splat_bboxes,
+)
+
+
+def single_splat(opacity=0.9, color=(1.0, 0.0, 0.0), sigma=4.0, center=(8.0, 8.0)):
+    means2d = np.array([center], dtype=np.float64)
+    inv = 1.0 / sigma**2
+    conics = np.array([[inv, 0.0, inv]])
+    colors = np.array([color], dtype=np.float64)
+    opacities = np.array([opacity])
+    depths = np.array([1.0])
+    radii = np.array([3.0 * sigma])
+    return means2d, conics, colors, opacities, depths, radii
+
+
+class TestSingleSplat:
+    def test_peak_at_center(self):
+        args = single_splat()
+        res = rasterize(*args, width=16, height=16)
+        img = res.image
+        cy, cx = np.unravel_index(np.argmax(img[:, :, 0]), img[:, :, 0].shape)
+        # pixel centers are at +0.5, splat center (8, 8) -> pixels 7/8
+        assert cx in (7, 8) and cy in (7, 8)
+
+    def test_center_alpha_value(self):
+        args = single_splat(opacity=0.5)
+        res = rasterize(*args, width=16, height=16)
+        # at distance 0.5px from center with sigma 4: alpha ~= 0.5 * exp(-tiny)
+        peak = res.image[:, :, 0].max()
+        assert 0.49 < peak <= 0.5
+
+    def test_background_through_transparency(self):
+        args = single_splat(opacity=0.0)
+        bg = np.array([0.25, 0.5, 0.75])
+        res = rasterize(*args, width=8, height=8, background=bg)
+        np.testing.assert_allclose(res.image, np.broadcast_to(bg, (8, 8, 3)))
+        np.testing.assert_allclose(res.final_transmittance, 1.0)
+
+    def test_alpha_cap(self):
+        args = single_splat(opacity=1.0)
+        cfg = RasterConfig(alpha_max=0.99)
+        res = rasterize(*args, width=16, height=16, config=cfg)
+        assert res.image[:, :, 0].max() <= 0.99 + 1e-12
+        assert res.final_transmittance.min() >= 0.01 - 1e-12
+
+
+class TestOcclusion:
+    def two_splats(self, front_first=True):
+        means2d = np.array([[8.0, 8.0], [8.0, 8.0]])
+        conics = np.tile(np.array([[1 / 16.0, 0.0, 1 / 16.0]]), (2, 1))
+        colors = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        opacities = np.array([0.99, 0.99])
+        depths = np.array([1.0, 2.0]) if front_first else np.array([2.0, 1.0])
+        radii = np.array([12.0, 12.0])
+        return means2d, conics, colors, opacities, depths, radii
+
+    def test_front_occludes_back(self):
+        res = rasterize(*self.two_splats(), width=16, height=16)
+        center = res.image[8, 8]
+        assert center[0] > 0.95  # red front splat dominates
+        assert center[1] < 0.05
+
+    def test_depth_order_not_input_order(self):
+        """Swapping depths (not rows) flips which color wins."""
+        res = rasterize(*self.two_splats(front_first=False), width=16, height=16)
+        center = res.image[8, 8]
+        assert center[1] > 0.95  # now green is in front
+        assert center[0] < 0.05
+
+    def test_transmittance_product(self):
+        res = rasterize(*self.two_splats(), width=16, height=16)
+        t = res.final_transmittance[8, 8]
+        # pixel center (8.5, 8.5) vs splat center (8, 8): both splats apply
+        # the same alpha, so T = (1 - alpha)^2 exactly
+        alpha = min(0.99 * np.exp(-0.5 * (0.5**2 + 0.5**2) / 16.0), 0.99)
+        assert t == pytest.approx((1 - alpha) ** 2, rel=1e-10)
+
+
+class TestConservation:
+    def test_premultiplied_colors_bounded(self):
+        """With colors in [0,1] and any alphas, output stays in [0,1]."""
+        rng = np.random.default_rng(0)
+        n = 30
+        means2d = rng.uniform(0, 32, size=(n, 2))
+        sig = rng.uniform(1, 5, size=n)
+        conics = np.stack([1 / sig**2, np.zeros(n), 1 / sig**2], axis=1)
+        colors = rng.uniform(0, 1, size=(n, 3))
+        opacities = rng.uniform(0, 1, size=n)
+        depths = rng.uniform(1, 10, size=n)
+        radii = 3 * sig
+        res = rasterize(
+            means2d, conics, colors, opacities, depths, radii, 32, 32,
+            background=np.array([0.5, 0.5, 0.5]),
+        )
+        assert res.image.min() >= -1e-12
+        assert res.image.max() <= 1.0 + 1e-12
+        assert res.final_transmittance.min() >= 0
+        assert res.final_transmittance.max() <= 1.0 + 1e-12
+
+    def test_empty_input(self):
+        res = rasterize(
+            np.zeros((0, 2)), np.zeros((0, 3)), np.zeros((0, 3)),
+            np.zeros(0), np.zeros(0), np.zeros(0), 8, 8,
+        )
+        np.testing.assert_allclose(res.image, 0.0)
+        np.testing.assert_allclose(res.final_transmittance, 1.0)
+
+
+class TestBBoxes:
+    def test_clipping(self):
+        means2d = np.array([[-5.0, 4.0], [100.0, 4.0], [4.0, 4.0]])
+        radii = np.array([2.0, 2.0, 3.0])
+        b = splat_bboxes(means2d, radii, width=8, height=8)
+        # fully left of image: empty after clip
+        assert b[0, 0] == 0 and b[0, 1] == 0
+        # fully right: clipped to [8, 8)
+        assert b[1, 0] == 8 and b[1, 1] == 8
+        # interior: covers [1, 8) x [1, 8)
+        assert (b[2] == [1, 8, 1, 8]).all()
+
+    def test_offscreen_splat_skipped(self):
+        args = list(single_splat(center=(-50.0, -50.0)))
+        res = rasterize(*args, width=8, height=8)
+        np.testing.assert_allclose(res.image, 0.0)
+
+    def test_alpha_min_skips_faint_tail(self):
+        args = single_splat(opacity=0.9, sigma=1.0, center=(4.0, 4.0))
+        cfg = RasterConfig(alpha_min=1 / 255.0)
+        res = rasterize(*args, width=32, height=32, config=cfg)
+        # far corner receives exactly zero (threshold), not a tiny tail
+        assert res.image[31, 31, 0] == 0.0

@@ -1,0 +1,163 @@
+"""Tests for device models and the GPU memory model."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians import layout
+from repro.sim import (
+    MemoryTracker,
+    PLATFORMS,
+    baseline_offload_breakdown,
+    bytes_per_gaussian,
+    fits,
+    get_platform,
+    gpu_only_breakdown,
+    gsscale_breakdown,
+    max_trainable_gaussians,
+)
+from repro.sim.memory import effective_staged_ratio
+
+
+class TestPlatforms:
+    def test_table1_r_bw(self):
+        """R_bw values from Table 1: 3.1 (laptop), 8.2 (desktop), 3.3 (server)."""
+        assert get_platform("laptop_4070m").r_bw == pytest.approx(3.1, abs=0.05)
+        assert get_platform("desktop_4080s").r_bw == pytest.approx(8.2, abs=0.05)
+        assert get_platform("server_h100").r_bw == pytest.approx(3.3, abs=0.05)
+
+    def test_section58_gpus_present(self):
+        assert get_platform("desktop_4070s").r_bw == pytest.approx(5.6, abs=0.05)
+        assert get_platform("desktop_4090").r_bw == pytest.approx(11.3, abs=0.05)
+
+    def test_memory_sizes(self):
+        assert get_platform("laptop_4070m").gpu.memory_bytes == 8 * 1024**3
+        assert get_platform("desktop_4080s").gpu.memory_bytes == 16 * 1024**3
+        assert get_platform("server_h100").gpu.memory_bytes == 80 * 1024**3
+
+    def test_server_numa_derates_random_bw(self):
+        server = get_platform("server_h100").cpu
+        laptop = get_platform("laptop_4070m").cpu
+        assert server.numa_nodes == 2
+        # random-access fraction of sequential bw is lower on the server
+        assert server.random_bw / server.mem_bw < laptop.random_bw / laptop.mem_bw
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            get_platform("tpu_v9")
+
+    def test_all_platforms_consistent(self):
+        for p in PLATFORMS.values():
+            assert p.gpu.mem_bw > p.cpu.mem_bw  # R_bw > 1 everywhere
+            assert p.pcie_bw < p.cpu.mem_bw
+
+
+class TestBreakdowns:
+    def test_gpu_only_state_is_4x_params(self):
+        b = gpu_only_breakdown(1_000_000, 0)
+        assert b.gaussian_state == 4 * layout.param_bytes(1_000_000)
+        assert b.gradients == b.parameters
+        assert b.optimizer_states == 2 * b.parameters
+
+    def test_figure3b_shape(self):
+        """Gaussian state ~90% at 1K for a 10M scene; activation share
+        grows with resolution (Figure 3b)."""
+        n = 10_000_000
+        shares = {}
+        for label, px in (("1K", 1_000_000), ("2K", 2_200_000), ("4K", 8_300_000)):
+            b = gpu_only_breakdown(n, px)
+            shares[label] = b.shares()["activations"]
+        assert shares["1K"] < 0.15
+        assert shares["1K"] < shares["2K"] < shares["4K"]
+        assert gpu_only_breakdown(n, 1_000_000).gaussian_state / gpu_only_breakdown(
+            n, 1_000_000
+        ).total > 0.85
+
+    def test_gsscale_keeps_17pct_geometric(self):
+        n = 1_000_000
+        b = gsscale_breakdown(n, 0, peak_active_ratio=0.0)
+        g = gpu_only_breakdown(n, 0)
+        resident = b.gaussian_state / g.gaussian_state
+        assert resident == pytest.approx(layout.GEOMETRIC_FRACTION, abs=0.01)
+
+    def test_baseline_scales_with_peak_ratio(self):
+        n = 1_000_000
+        lo = baseline_offload_breakdown(n, 0, 0.1)
+        hi = baseline_offload_breakdown(n, 0, 0.3)
+        assert hi.gaussian_state == pytest.approx(3 * lo.gaussian_state, rel=0.01)
+
+    def test_effective_staged_ratio_splitting(self):
+        assert effective_staged_ratio(0.2, 0.3) == 0.2  # no split
+        assert effective_staged_ratio(0.32, 0.3) == pytest.approx(0.16)
+        assert effective_staged_ratio(0.32, 0.1) == pytest.approx(0.08)
+
+    def test_bytes_per_gaussian_ordering(self):
+        go = bytes_per_gaussian("gpu_only")
+        gs = bytes_per_gaussian("gsscale", peak_active_ratio=0.32)
+        assert go == 944.0
+        assert gs < go / 3  # the headline 3.3-5.6x state saving
+        with pytest.raises(ValueError):
+            bytes_per_gaussian("mystery")
+
+
+class TestMaxTrainable:
+    def test_paper_anchors(self):
+        """Section 5.6: laptop 4M -> 18M; desktop 9M -> 40M."""
+        px = 1152 * 864  # Rubble resolution
+        laptop = get_platform("laptop_4070m").gpu
+        desktop = get_platform("desktop_4080s").gpu
+        assert max_trainable_gaussians(laptop, px, "gpu_only") == pytest.approx(
+            4e6, rel=0.25
+        )
+        assert max_trainable_gaussians(
+            laptop, px, "gsscale", peak_active_ratio=0.32
+        ) == pytest.approx(18e6, rel=0.25)
+        assert max_trainable_gaussians(desktop, px, "gpu_only") == pytest.approx(
+            9e6, rel=0.3
+        )
+        assert max_trainable_gaussians(
+            desktop, px, "gsscale", peak_active_ratio=0.32
+        ) == pytest.approx(40e6, rel=0.25)
+
+    def test_zero_when_activations_exceed_budget(self):
+        tiny = get_platform("laptop_4070m").gpu
+        assert max_trainable_gaussians(tiny, 10_000_000_000, "gpu_only") == 0
+
+    def test_fits_matches_max(self):
+        gpu = get_platform("laptop_4070m").gpu
+        px = 1_000_000
+        n_max = max_trainable_gaussians(gpu, px, "gpu_only")
+        assert fits(gpu_only_breakdown(n_max, px), gpu)
+        assert not fits(gpu_only_breakdown(int(n_max * 1.1), px), gpu)
+
+
+class TestMemoryTracker:
+    def test_peak_tracking(self):
+        t = MemoryTracker()
+        t.allocate("params", 100)
+        t.allocate("act", 50)
+        t.free("act", 50)
+        t.allocate("act", 20)
+        assert t.live_bytes == 120
+        assert t.peak_bytes == 150
+
+    def test_capacity_enforced(self):
+        t = MemoryTracker(capacity_bytes=100)
+        t.allocate("a", 80)
+        with pytest.raises(MemoryError):
+            t.allocate("b", 30)
+
+    def test_over_free_rejected(self):
+        t = MemoryTracker()
+        t.allocate("a", 10)
+        with pytest.raises(ValueError):
+            t.free("a", 20)
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker().allocate("a", -1)
+
+    def test_category_snapshot(self):
+        t = MemoryTracker()
+        t.allocate("x", 5)
+        t.allocate("y", 7)
+        assert t.live_by_category() == {"x": 5, "y": 7}

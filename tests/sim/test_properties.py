@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the performance model's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.workload import WorkloadTrace
+from repro.sim import (
+    CostModel,
+    get_platform,
+    gpu_only_breakdown,
+    gsscale_breakdown,
+    simulate_epoch,
+    simulate_iteration,
+)
+from repro.sim.memory import effective_staged_ratio
+
+PLATFORM_KEYS = ["laptop_4070m", "desktop_4080s", "server_h100"]
+
+
+class TestCostMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        platform=st.sampled_from(PLATFORM_KEYS),
+        n=st.integers(100_000, 40_000_000),
+        factor=st.floats(1.1, 10.0),
+    )
+    def test_stage_times_monotone_in_scene_size(self, platform, n, factor):
+        cost = CostModel(get_platform(platform))
+        n2 = int(n * factor)
+        assert cost.gpu_cull(n2) > cost.gpu_cull(n)
+        assert cost.cpu_cull(n2) > cost.cpu_cull(n)
+        assert cost.gpu_dense_update(n2) > cost.gpu_dense_update(n)
+        assert cost.cpu_dense_update(n2) > cost.cpu_dense_update(n)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        platform=st.sampled_from(PLATFORM_KEYS),
+        system=st.sampled_from(
+            ["gpu_only", "baseline_offload", "gsscale_no_deferred", "gsscale"]
+        ),
+        n=st.integers(500_000, 20_000_000),
+        ratio=st.floats(0.01, 0.29),
+        pixels=st.integers(250_000, 8_000_000),
+    )
+    def test_iteration_time_positive_and_bounded(
+        self, platform, system, n, ratio, pixels
+    ):
+        cost = CostModel(get_platform(platform))
+        it = simulate_iteration(system, cost, n, ratio, pixels)
+        assert it.time > 0
+        # pipelining can hide stages but never create time from nothing:
+        # total <= serial sum of the breakdown
+        assert it.time <= sum(it.breakdown.values()) + 1e-12
+        # and at least the forward/backward must be paid
+        assert it.time >= it.breakdown["fwd_bwd"] - 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        platform=st.sampled_from(PLATFORM_KEYS),
+        n=st.integers(500_000, 20_000_000),
+        r1=st.floats(0.01, 0.15),
+        extra=st.floats(0.01, 0.14),
+    )
+    def test_gsscale_time_monotone_in_active_ratio(self, platform, n, r1, extra):
+        cost = CostModel(get_platform(platform))
+        t1 = simulate_iteration("gsscale", cost, n, r1, 1_000_000).time
+        t2 = simulate_iteration("gsscale", cost, n, r1 + extra, 1_000_000).time
+        assert t2 >= t1 - 1e-12
+
+
+class TestMemoryInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1_000, 50_000_000),
+        pixels=st.integers(0, 10_000_000),
+        peak=st.floats(0.001, 1.0),
+    )
+    def test_gsscale_never_exceeds_gpu_only(self, n, pixels, peak):
+        gpu = gpu_only_breakdown(n, pixels)
+        gs = gsscale_breakdown(n, pixels, peak, mem_limit=0.3)
+        # transfer buffers are constant; for non-trivial scenes GS-Scale
+        # must always be smaller
+        if n >= 1_000_000:
+            assert gs.total < gpu.total
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        peak=st.floats(0.001, 1.0),
+        limit=st.floats(0.05, 1.0),
+    )
+    def test_effective_staged_ratio_bounds(self, peak, limit):
+        eff = effective_staged_ratio(peak, limit)
+        assert 0 < eff <= min(peak, limit) + 1e-12
+        # splitting preserves total work: eff * splits == peak
+        if peak > limit:
+            splits = int(np.ceil(peak / limit))
+            assert eff * splits == pytest.approx(peak)
+
+
+class TestEpochInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        views=st.integers(1, 50),
+        n=st.integers(500_000, 5_000_000),
+    )
+    def test_epoch_time_additive_over_views(self, seed, views, n):
+        rng = np.random.default_rng(seed)
+        ratios = rng.uniform(0.02, 0.25, size=views)
+        trace = WorkloadTrace("prop", n, ratios)
+        plat = get_platform("desktop_4080s")
+        res = simulate_epoch(plat, trace, "gsscale", 1_000_000)
+        if res.oom:
+            return
+        cost = CostModel(plat)
+        manual = sum(
+            simulate_iteration("gsscale", cost, n, float(r), 1_000_000).time
+            for r in ratios
+        )
+        assert res.seconds == pytest.approx(manual, rel=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(500_000, 3_000_000))
+    def test_oom_iff_memory_model_says_so(self, seed, n):
+        from repro.sim import fits, peak_memory
+
+        rng = np.random.default_rng(seed)
+        trace = WorkloadTrace("prop", n, rng.uniform(0.02, 0.3, size=5))
+        plat = get_platform("laptop_4070m")
+        res = simulate_epoch(plat, trace, "gpu_only", 2_000_000)
+        expected = not fits(
+            peak_memory("gpu_only", n, 2_000_000, trace.peak_ratio), plat.gpu
+        )
+        assert res.oom == expected

@@ -1,0 +1,94 @@
+"""Tests for replaying functional training runs through the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import GSScaleConfig, Trainer
+from repro.datasets import SyntheticSceneConfig, build_scene
+from repro.sim import get_platform
+from repro.sim.replay import ReplayEstimate, replay_history
+
+
+@pytest.fixture(scope="module")
+def history_and_scene():
+    scene = build_scene(
+        SyntheticSceneConfig(
+            num_points=150, width=24, height=18,
+            num_train_cameras=3, num_test_cameras=1,
+            altitude=9.0, seed=91,
+        )
+    )
+    trainer = Trainer(
+        scene.initial.copy(),
+        GSScaleConfig(
+            system="gsscale", scene_extent=scene.extent,
+            ssim_lambda=0.0, mem_limit=1.0, seed=0,
+        ),
+    )
+    history = trainer.train(scene.train_cameras, scene.train_images, 6)
+    return history, scene, trainer
+
+
+class TestReplay:
+    def test_basic_estimate(self, history_and_scene):
+        history, scene, trainer = history_and_scene
+        est = replay_history(
+            history,
+            get_platform("laptop_4070m"),
+            "gsscale",
+            num_gaussians=trainer.num_gaussians,
+            num_pixels=scene.train_cameras[0].num_pixels,
+        )
+        assert isinstance(est, ReplayEstimate)
+        assert est.seconds > 0
+        assert est.images_per_second == pytest.approx(6 / est.seconds)
+        assert est.breakdown["fwd_bwd"] > 0
+
+    def test_system_comparison_preserved(self):
+        """Replaying a paper-scale workload under each schedule reproduces
+        the Figure-11 ordering."""
+        from repro.core.systems import StepReport
+        from repro.core.trainer import TrainingHistory
+
+        history = TrainingHistory()
+        for i, visible in enumerate((440_000, 430_000, 450_000)):
+            history.steps.append(
+                StepReport(
+                    iteration=i + 1, loss=0.1, l1=0.1, ssim=0.9,
+                    num_visible=visible, num_regions=1,
+                    valid_ids=np.empty(0, dtype=np.int64),
+                    mean2d_abs=np.empty(0),
+                )
+            )
+        plat = get_platform("laptop_4070m")
+        times = {
+            s: replay_history(
+                history, plat, s,
+                num_gaussians=3_500_000, num_pixels=995_328,
+            ).seconds
+            for s in ("baseline_offload", "gsscale_no_deferred", "gsscale")
+        }
+        assert times["baseline_offload"] > times["gsscale_no_deferred"]
+        assert times["gsscale_no_deferred"] > times["gsscale"]
+
+    def test_platform_scaling(self, history_and_scene):
+        """The same workload runs faster on the server than the laptop."""
+        history, scene, trainer = history_and_scene
+        kw = dict(
+            num_gaussians=trainer.num_gaussians,
+            num_pixels=scene.train_cameras[0].num_pixels,
+        )
+        lap = replay_history(history, get_platform("laptop_4070m"),
+                             "gsscale", **kw)
+        srv = replay_history(history, get_platform("server_h100"),
+                             "gsscale", **kw)
+        assert srv.seconds < lap.seconds
+
+    def test_empty_history_rejected(self):
+        from repro.core.trainer import TrainingHistory
+
+        with pytest.raises(ValueError):
+            replay_history(
+                TrainingHistory(), get_platform("laptop_4070m"),
+                "gsscale", 100, 100,
+            )

@@ -1,0 +1,37 @@
+"""Smoke tests for the figure-regeneration CLI (python -m repro.figures)."""
+
+import pytest
+
+from repro import figures
+
+
+class TestCli:
+    def test_fast_subset(self, capsys):
+        rc = figures.run(["table1", "table2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "RTX 4070 Mobile" in out
+
+    def test_unknown_experiment(self, capsys):
+        rc = figures.run(["fig99"])
+        assert rc == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_every_experiment_registered(self):
+        """All 13 evaluation artifacts are regenerable from the CLI."""
+        expected = {
+            "table1", "table2", "fig01", "fig03", "fig04", "fig07",
+            "fig09", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+        }
+        assert set(figures.EXPERIMENTS) == expected
+
+    def test_fig12_writes_report(self, capsys):
+        import os
+
+        from repro.bench import output_dir
+
+        rc = figures.run(["fig12"])
+        assert rc == 0
+        assert os.path.exists(os.path.join(output_dir(), "fig12_cli.txt"))
