@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -46,7 +46,14 @@ class GSScaleConfig:
         device_capacity_bytes: optional simulated GPU capacity; the
             engine's MemoryTracker raises MemoryError past it, reproducing
             the OOM behaviour of Figure 11.
-        raster: rasterizer thresholds.
+        raster: rasterizer thresholds and backend selection.
+        engine: one-shot convenience override for ``raster.engine`` — one
+            of :data:`repro.render.rasterize.ENGINES` (``"reference"``,
+            ``"tiled"``, ``"vectorized"``). Every training system and
+            benchmark renders through this backend; ``None`` keeps whatever
+            ``raster`` says. The override is folded into ``raster`` and
+            reset to ``None`` during construction, so ``raster.engine`` is
+            the single source of truth afterwards.
         background: render background color.
         seed: RNG seed for anything stochastic in the engine.
     """
@@ -66,6 +73,7 @@ class GSScaleConfig:
     eps: float = 1e-15
     device_capacity_bytes: int | None = None
     raster: RasterConfig = field(default_factory=RasterConfig)
+    engine: str | None = None
     background: np.ndarray | None = None
     seed: int = 0
 
@@ -76,6 +84,14 @@ class GSScaleConfig:
             )
         if not 0.0 < self.mem_limit <= 1.0:
             raise ValueError("mem_limit must be in (0, 1]")
+        if self.engine is not None:
+            if self.engine != self.raster.engine:
+                # replace() re-runs RasterConfig validation on the name
+                self.raster = replace(self.raster, engine=self.engine)
+            # one-shot override: clear it so a later dataclasses.replace
+            # with a new `raster` is not silently reverted; `raster.engine`
+            # is the single source of truth from here on
+            self.engine = None
 
     def position_lr_scale_at(self, iteration: int) -> float:
         """Multiplier on the position lr at a (1-based) iteration."""

@@ -16,6 +16,12 @@ mirroring each system's data movement:
 A :class:`~repro.sim.memory.MemoryTracker` accounts device bytes in fp32
 equivalents, so OOM behaviour and peak-memory ratios can be asserted
 functionally, not just modeled.
+
+Every system renders through the rasterization backend selected by
+``GSScaleConfig.engine`` / ``GSScaleConfig.raster.engine`` (see
+``docs/raster_engines.md``): the ``reference`` loop is the oracle, the
+``vectorized`` engine is what makes Figure-11-scale throughput runs
+practical in numpy.
 """
 
 from __future__ import annotations
@@ -103,6 +109,11 @@ class TrainingSystem(ABC):
         self.ledger = TransferLedger()
         self._lr = config.lr_vector(dtype=model.dtype)
         self._setup(model)
+
+    @property
+    def raster_engine(self) -> str:
+        """Rasterization backend every render of this system goes through."""
+        return self.config.raster.engine
 
     # -- subclass surface --------------------------------------------------
     @abstractmethod

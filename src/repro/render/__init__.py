@@ -1,13 +1,25 @@
-"""Differentiable 3DGS renderer: culling, projection, rasterization, backward."""
+"""Differentiable 3DGS renderer: culling, projection, rasterization, backward.
 
-from . import backward, culling, projection, rasterize, tiles
+Three interchangeable rasterization backends are available through
+``RasterConfig.engine`` (see ``docs/raster_engines.md``): the per-splat
+``reference`` loop, the ``tiled`` loop, and the flat intersection-sorted
+``vectorized`` engine.
+"""
+
+from . import backward, culling, engine, projection, rasterize, tiles
 from .culling import CullResult, frustum_cull
+from .engine import (
+    rasterize_backward_vectorized,
+    rasterize_vectorized,
+    tile_intersections,
+)
 from .pipeline import RenderBackwardResult, RenderResult, render, render_backward
-from .rasterize import RasterConfig
+from .rasterize import ENGINES, RasterConfig
 from .tiles import TileBinning, bin_gaussians, rasterize_tiled
 
 __all__ = [
     "CullResult",
+    "ENGINES",
     "RasterConfig",
     "RenderBackwardResult",
     "RenderResult",
@@ -15,11 +27,15 @@ __all__ = [
     "backward",
     "bin_gaussians",
     "culling",
+    "engine",
     "frustum_cull",
     "projection",
     "rasterize",
+    "rasterize_backward_vectorized",
     "rasterize_tiled",
+    "rasterize_vectorized",
     "render",
     "render_backward",
+    "tile_intersections",
     "tiles",
 ]

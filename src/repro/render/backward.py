@@ -37,6 +37,21 @@ class RasterGrads:
     mean2d_abs: np.ndarray
 
 
+def alloc_grads(m_count: int, dtype) -> RasterGrads:
+    """Zero-initialized :class:`RasterGrads` for ``m_count`` splats.
+
+    Shared by this loop implementation and the vectorized engine
+    (:mod:`repro.render.engine`) so both fill the exact same contract.
+    """
+    return RasterGrads(
+        means2d=np.zeros((m_count, 2), dtype=dtype),
+        conics=np.zeros((m_count, 3), dtype=dtype),
+        colors=np.zeros((m_count, 3), dtype=dtype),
+        opacities=np.zeros(m_count, dtype=dtype),
+        mean2d_abs=np.zeros(m_count, dtype=dtype),
+    )
+
+
 def rasterize_backward(
     means2d: np.ndarray,
     conics: np.ndarray,
@@ -64,13 +79,7 @@ def rasterize_backward(
     background = np.asarray(background, dtype=dtype)
 
     m_count = means2d.shape[0]
-    grads = RasterGrads(
-        means2d=np.zeros((m_count, 2), dtype=dtype),
-        conics=np.zeros((m_count, 3), dtype=dtype),
-        colors=np.zeros((m_count, 3), dtype=dtype),
-        opacities=np.zeros(m_count, dtype=dtype),
-        mean2d_abs=np.zeros(m_count, dtype=dtype),
-    )
+    grads = alloc_grads(m_count, dtype)
 
     # suffix[p] = sum over splats behind the current one of c_j alpha_j T_j,
     # plus the background term bg * T_final.

@@ -5,6 +5,11 @@ plus the context needed by ``render_backward``, which packs per-attribute
 gradients into a single ``(M, 59)`` array aligned with the visible subset.
 That packed layout is exactly what GS-Scale ships across the (simulated)
 PCIe link as "G1/G3" in Figure 6.
+
+Both passes dispatch the rasterization stage through
+:mod:`repro.render.engine` according to ``RasterConfig.engine``, so every
+caller (the four training systems, benchmarks, examples) can pick the
+reference loop, the tiled loop, or the vectorized engine per run.
 """
 
 from __future__ import annotations
@@ -17,8 +22,7 @@ from ..cameras.camera import Camera
 from ..gaussians import layout
 from ..gaussians.layout import SH_DEGREE
 from ..gaussians.model import GaussianModel
-from . import backward as raster_backward
-from . import culling, projection, rasterize
+from . import culling, engine, projection, rasterize
 
 
 @dataclass
@@ -109,7 +113,7 @@ def render(
         camera,
         sh_degree=sh_degree,
     )
-    raster = rasterize.rasterize(
+    raster = engine.get_forward(config.engine)(
         proj.geom.means2d,
         proj.geom.conics,
         proj.colors,
@@ -148,7 +152,8 @@ def render_backward(
     """
     ids = result.valid_ids
     proj = result.proj
-    rgrads = raster_backward.rasterize_backward(
+    config = result.config or rasterize.RasterConfig()
+    rgrads = engine.get_backward(config.engine)(
         proj.geom.means2d,
         proj.geom.conics,
         proj.colors,
@@ -156,7 +161,7 @@ def render_backward(
         result.raster,
         grad_image,
         background=result.background,
-        config=result.config,
+        config=config,
     )
     pgrads = projection.project_backward(
         model.means[ids],

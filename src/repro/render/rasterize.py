@@ -19,6 +19,12 @@ ALPHA_MIN = 1.0 / 255.0
 #: Maximum alpha per splat-pixel pair (3DGS caps at 0.99 for stability).
 ALPHA_MAX = 0.99
 
+#: Selectable rasterization backends (see ``docs/raster_engines.md``):
+#: ``reference`` is the per-splat loop in this module, ``tiled`` the
+#: tile-binned loop in :mod:`repro.render.tiles`, ``vectorized`` the flat
+#: intersection-sorted engine in :mod:`repro.render.engine`.
+ENGINES = ("reference", "tiled", "vectorized")
+
 
 @dataclass
 class RasterConfig:
@@ -33,11 +39,22 @@ class RasterConfig:
             of its 3-sigma bounding box. Removes the (measure-zero)
             discontinuity of the integer bbox, which finite-difference
             gradient checks would otherwise trip over.
+        engine: which rasterization backend executes the forward/backward
+            passes; one of :data:`ENGINES`. All three produce the same
+            output (the loop engines bitwise, ``vectorized`` to ~1e-12);
+            ``vectorized`` is much faster past a few hundred splats.
     """
 
     alpha_min: float = ALPHA_MIN
     alpha_max: float = ALPHA_MAX
     full_image_splats: bool = False
+    engine: str = "reference"
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown raster engine {self.engine!r}; choose from {ENGINES}"
+            )
 
 
 @dataclass
@@ -68,6 +85,25 @@ def splat_bboxes(
     y0 = np.clip(np.floor(means2d[:, 1] - radii), 0, height).astype(np.int64)
     y1 = np.clip(np.ceil(means2d[:, 1] + radii) + 1, 0, height).astype(np.int64)
     return np.stack([x0, x1, y0, y1], axis=-1)
+
+
+def config_bboxes(
+    means2d: np.ndarray,
+    radii: np.ndarray,
+    width: int,
+    height: int,
+    config: RasterConfig,
+) -> np.ndarray:
+    """Per-splat composite bounds honoring ``config.full_image_splats``.
+
+    The single source of the bbox-selection rule for all three engines.
+    """
+    if config.full_image_splats:
+        m_count = means2d.shape[0]
+        return np.tile(
+            np.array([0, width, 0, height], dtype=np.int64), (m_count, 1)
+        )
+    return splat_bboxes(means2d, radii, width, height)
 
 
 def _splat_alpha(
@@ -123,13 +159,7 @@ def rasterize(
     background = np.asarray(background, dtype=dtype)
 
     order = np.argsort(depths, kind="stable")
-    if config.full_image_splats:
-        m_count = means2d.shape[0]
-        bboxes = np.tile(
-            np.array([0, width, 0, height], dtype=np.int64), (m_count, 1)
-        )
-    else:
-        bboxes = splat_bboxes(means2d, radii, width, height)
+    bboxes = config_bboxes(means2d, radii, width, height, config)
     image = np.zeros((height, width, 3), dtype=dtype)
     transmittance = np.ones((height, width), dtype=dtype)
     xs_full = np.arange(width, dtype=dtype) + 0.5

@@ -8,6 +8,12 @@ the same splats in the same depth order with the same arithmetic, the
 output is *bitwise identical* to the reference compositor — which the test
 suite asserts — while the binning statistics expose the intersection
 counts the performance model's forward/backward costs are built on.
+
+Binning itself is vectorized: it delegates to
+:func:`repro.render.engine.tile_intersections`, the same flat
+``np.repeat``/radix-sort expansion the vectorized engine composites from,
+so ``num_intersections`` and the per-tile lists come from a single code
+path.
 """
 
 from __future__ import annotations
@@ -16,10 +22,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .rasterize import RasterConfig, RasterResult, _splat_alpha, splat_bboxes
+from .engine import TILE_SIZE, tile_intersections
+from .rasterize import (
+    RasterConfig,
+    RasterResult,
+    _splat_alpha,
+    config_bboxes,
+    splat_bboxes,
+)
 
-#: Tile edge in pixels (3DGS/gsplat use 16x16 tiles).
-TILE_SIZE = 16
+__all__ = [
+    "TILE_SIZE",
+    "TileBinning",
+    "bin_gaussians",
+    "rasterize_tiled",
+]
 
 
 @dataclass
@@ -32,12 +49,16 @@ class TileBinning:
             bounding box overlaps it, in input order.
         num_intersections: total splat-tile pairs (the duplication factor
             that drives sorting cost in the real pipeline).
+        bboxes: the clipped integer pixel bounds ``(M, 4)`` the binning was
+            computed from, so callers can composite without recomputing
+            them.
     """
 
     tiles_x: int
     tiles_y: int
     tile_lists: list[np.ndarray]
     num_intersections: int
+    bboxes: np.ndarray
 
     def tile_index(self, tx: int, ty: int) -> int:
         """Row-major index of tile ``(tx, ty)``."""
@@ -50,28 +71,30 @@ def bin_gaussians(
     width: int,
     height: int,
     tile_size: int = TILE_SIZE,
+    bboxes: np.ndarray | None = None,
 ) -> TileBinning:
-    """Assign each splat to every tile its bounding box overlaps."""
-    tiles_x = -(-width // tile_size)
-    tiles_y = -(-height // tile_size)
-    bboxes = splat_bboxes(means2d, radii, width, height)
-    buckets: list[list[int]] = [[] for _ in range(tiles_x * tiles_y)]
-    count = 0
-    for idx in range(means2d.shape[0]):
-        x0, x1, y0, y1 = bboxes[idx]
-        if x0 >= x1 or y0 >= y1:
-            continue
-        tx0, tx1 = x0 // tile_size, (x1 - 1) // tile_size
-        ty0, ty1 = y0 // tile_size, (y1 - 1) // tile_size
-        for ty in range(ty0, ty1 + 1):
-            for tx in range(tx0, tx1 + 1):
-                buckets[ty * tiles_x + tx].append(idx)
-                count += 1
+    """Assign each splat to every tile its bounding box overlaps.
+
+    Args:
+        means2d, radii: splat centers and pixel radii.
+        width, height: image size.
+        tile_size: tile edge in pixels.
+        bboxes: precomputed clipped bounds ``(M, 4)``; computed from
+            ``means2d``/``radii`` when omitted.
+    """
+    if bboxes is None:
+        bboxes = splat_bboxes(means2d, radii, width, height)
+    tile_ids, splat_ids, tiles_x, tiles_y = tile_intersections(
+        bboxes, width, height, tile_size
+    )
+    counts = np.bincount(tile_ids, minlength=tiles_x * tiles_y)
+    tile_lists = np.split(splat_ids, np.cumsum(counts)[:-1])
     return TileBinning(
         tiles_x=tiles_x,
         tiles_y=tiles_y,
-        tile_lists=[np.asarray(b, dtype=np.int64) for b in buckets],
-        num_intersections=count,
+        tile_lists=tile_lists,
+        num_intersections=int(tile_ids.size),
+        bboxes=bboxes,
     )
 
 
@@ -99,8 +122,15 @@ def rasterize_tiled(
     order = np.argsort(depths, kind="stable")
     rank = np.empty_like(order)
     rank[order] = np.arange(order.size)
-    binning = bin_gaussians(means2d, radii, width, height, tile_size)
-    bboxes = splat_bboxes(means2d, radii, width, height)
+    binning = bin_gaussians(
+        means2d,
+        radii,
+        width,
+        height,
+        tile_size,
+        bboxes=config_bboxes(means2d, radii, width, height, config),
+    )
+    bboxes = binning.bboxes
 
     image = np.zeros((height, width, 3), dtype=dtype)
     transmittance = np.ones((height, width), dtype=dtype)

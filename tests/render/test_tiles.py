@@ -104,3 +104,38 @@ class TestBinning:
 
     def test_default_tile_size_is_16(self):
         assert TILE_SIZE == 16
+
+    def test_tile_lists_in_input_order(self):
+        """The vectorized expansion must keep the legacy bucket order."""
+        rng = np.random.default_rng(8)
+        means2d = rng.uniform(0, 64, size=(40, 2))
+        b = bin_gaussians(means2d, np.full(40, 10.0), 64, 64)
+        for ids in b.tile_lists:
+            assert np.all(np.diff(ids) > 0)  # strictly ascending input ids
+
+    def test_binning_returns_bboxes(self):
+        """Callers reuse the bboxes instead of recomputing them."""
+        from repro.render.rasterize import splat_bboxes
+
+        rng = np.random.default_rng(9)
+        means2d = rng.uniform(0, 64, size=(20, 2))
+        radii = rng.uniform(2.0, 8.0, size=20)
+        b = bin_gaussians(means2d, radii, 64, 64)
+        np.testing.assert_array_equal(
+            b.bboxes, splat_bboxes(means2d, radii, 64, 64)
+        )
+
+    def test_num_intersections_matches_lists(self):
+        rng = np.random.default_rng(10)
+        means2d = rng.uniform(-10, 74, size=(50, 2))
+        b = bin_gaussians(means2d, np.full(50, 6.0), 64, 48)
+        assert b.num_intersections == sum(len(ids) for ids in b.tile_lists)
+
+    def test_full_image_splats_config(self):
+        """rasterize_tiled honors full_image_splats like the reference."""
+        args = make_splats(n=15, seed=11)
+        cfg = RasterConfig(alpha_min=0.0, full_image_splats=True)
+        ref = rasterize(*args, width=70, height=50, config=cfg)
+        tiled = rasterize_tiled(*args, width=70, height=50, config=cfg)
+        np.testing.assert_array_equal(tiled.image, ref.image)
+        np.testing.assert_array_equal(tiled.bboxes, ref.bboxes)

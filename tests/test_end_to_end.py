@@ -114,6 +114,27 @@ def test_full_pipeline(capture, tmp_path):
     assert resident_state == pytest.approx(full_state * 10 / 59, rel=1e-9)
 
 
+def test_vectorized_engine_matches_reference_training(capture):
+    """Full GS-Scale training on the vectorized raster engine reproduces
+    the reference engine's loss trajectory."""
+    scene, _ = capture
+    trajectories = {}
+    for engine in ("reference", "vectorized"):
+        config = GSScaleConfig(
+            system="gsscale", scene_extent=scene.extent,
+            ssim_lambda=0.0, mem_limit=1.0, seed=0, engine=engine,
+        )
+        trainer = Trainer(scene.initial.copy(), config)
+        history = trainer.train(
+            scene.train_cameras, scene.train_images, iterations=12
+        )
+        trajectories[engine] = np.array([r.loss for r in history.steps])
+    np.testing.assert_allclose(
+        trajectories["vectorized"], trajectories["reference"],
+        atol=1e-9, rtol=0,
+    )
+
+
 def test_pipeline_memory_pressure_scenario(capture):
     """The paper's OOM story at integration level: a device that fits
     GS-Scale but not GPU-only."""
