@@ -1,8 +1,6 @@
 """Reproduces Figure 3: (a) quality vs Gaussian count with GPU capacity
 limits; (b) GPU memory breakdown vs image resolution."""
 
-import numpy as np
-
 from repro.bench import QualityModel, Table, write_report
 from repro.datasets import get_scene
 from repro.sim import get_platform, gpu_only_breakdown, max_trainable_gaussians

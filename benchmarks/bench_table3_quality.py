@@ -6,8 +6,6 @@ optimizations, including the deferred update's epsilon approximation), and
 evaluated on held-out views. Paper result: metrics match to the third
 decimal — the approximation is quality-neutral."""
 
-import numpy as np
-
 from repro.bench import Table, write_report
 from repro.core import GSScaleConfig, Trainer
 from repro.datasets import SyntheticSceneConfig, build_scene

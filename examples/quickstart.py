@@ -5,6 +5,10 @@ Builds a small procedural aerial capture, trains it twice — once with
 everything resident on the (simulated) device, once with GS-Scale's host
 offloading — and reports quality, device memory, and PCIe traffic.
 
+The placement machinery behind both systems (parameter stores, forwarding,
+lazy commits, sharding) is described in docs/architecture.md; see
+examples/sharded_training_demo.py for the multi-device variant.
+
 Run:  python examples/quickstart.py
 """
 

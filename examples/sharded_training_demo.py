@@ -1,0 +1,94 @@
+"""Sharded multi-device GS-Scale: train one scene across K shard stores.
+
+Spatially partitions a synthetic scene into K shards — each with its own
+device memory tracker and transfer ledger, modeling one GPU per shard (the
+Grendel / TideGS regime; see docs/architecture.md) — trains end-to-end,
+and prints the per-shard accounting next to the single-device GS-Scale
+run. Training numerics are identical regardless of K.
+
+Run:  python examples/sharded_training_demo.py
+"""
+
+import numpy as np
+
+from repro.core import GSScaleConfig, create_system
+from repro.datasets import SyntheticSceneConfig, build_scene
+
+ITERATIONS = 24
+NUM_SHARDS = 4
+
+
+def train(scene, system, **cfg_kwargs):
+    config = GSScaleConfig(
+        system=system,
+        scene_extent=scene.extent,
+        ssim_lambda=0.2,
+        seed=0,
+        **cfg_kwargs,
+    )
+    engine = create_system(scene.initial.copy(), config)
+    for i in range(ITERATIONS):
+        view = i % len(scene.train_cameras)
+        engine.step(scene.train_cameras[view], scene.train_images[view])
+    engine.finalize()
+    return engine
+
+
+def main():
+    print("Building synthetic aerial capture ...")
+    scene = build_scene(
+        SyntheticSceneConfig(
+            name="sharded-demo",
+            num_points=400,
+            width=48,
+            height=36,
+            num_train_cameras=8,
+            num_test_cameras=2,
+            altitude=8.0,
+            seed=21,
+        )
+    )
+    print(f"  {scene.initial.num_gaussians} Gaussians, "
+          f"{len(scene.train_cameras)} train views")
+
+    print(f"\nTraining single-device GS-Scale and {NUM_SHARDS}-shard "
+          "sharded GS-Scale ...")
+    single = train(scene, "gsscale")
+    sharded = train(scene, "sharded", num_shards=NUM_SHARDS,
+                    shard_workers=0)
+
+    drift = np.max(np.abs(
+        single.materialized_model().params
+        - sharded.materialized_model().params
+    ))
+    print(f"  max parameter drift vs single-device: {drift:.2e} "
+          "(sharding changes placement, not math)")
+
+    print(f"\nPer-shard accounting after {ITERATIONS} iterations:")
+    print("  shard  gaussians  peak MB  resident MB  H2D MB  D2H MB")
+    for r in sharded.shard_reports():
+        print(
+            f"  {r.shard:>5}  {r.num_gaussians:>9}  "
+            f"{r.peak_bytes / 1e6:>7.3f}  {r.live_bytes / 1e6:>11.3f}  "
+            f"{r.h2d_bytes / 1e6:>6.3f}  {r.d2h_bytes / 1e6:>6.3f}"
+        )
+
+    reports = sharded.shard_reports()
+    worst = max(r.peak_bytes for r in reports)
+    total = sum(r.peak_bytes for r in reports)
+    print(
+        f"\nWorst shard peak (Gaussian state + staging) {worst / 1e6:.3f} MB "
+        f"of a {total / 1e6:.3f} MB fleet total — each of the "
+        f"{NUM_SHARDS} devices holds ~{total / worst:.1f}x less than one "
+        "device would (activations are shared by the gathered render and "
+        "partition with the pixels on real hardware)."
+    )
+    print(
+        "Aggregate PCIe traffic is conserved: "
+        f"{sharded.ledger.h2d_bytes == single.ledger.h2d_bytes} "
+        f"({sharded.ledger.h2d_bytes / 1e6:.3f} MB H2D)."
+    )
+
+
+if __name__ == "__main__":
+    main()

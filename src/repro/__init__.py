@@ -9,7 +9,13 @@ and the performance simulator used to regenerate the paper's figures.
 from . import bench, cameras, core, datasets, densify, gaussians, io, metrics
 from . import optim, render, sim, train
 from .cameras import Camera
-from .core import GSScaleConfig, Trainer, create_system
+from .core import (
+    GSScaleConfig,
+    ParameterStore,
+    ShardedGSScaleSystem,
+    Trainer,
+    create_system,
+)
 from .core.checkpoint import load_checkpoint, resume_model, save_checkpoint
 from .datasets import SceneSpec, SyntheticSceneConfig, build_scene, get_scene
 from .densify import DensifyConfig
@@ -31,7 +37,9 @@ __all__ = [
     "GSScaleConfig",
     "GaussianModel",
     "PLATFORMS",
+    "ParameterStore",
     "SceneSpec",
+    "ShardedGSScaleSystem",
     "SyntheticSceneConfig",
     "Trainer",
     "bench",

@@ -1,11 +1,25 @@
-"""GS-Scale core: offload systems, image splitting, trainer."""
+"""GS-Scale core: parameter stores, offload systems, splitting, trainer."""
 
 from .config import SYSTEM_NAMES, GSScaleConfig
-from .splitting import ImageSplit, find_balanced_split
+from .splitting import (
+    ImageSplit,
+    find_balanced_split,
+    find_balanced_split_by,
+    spatial_partition,
+)
+from .stores import (
+    DeviceStore,
+    HostStore,
+    HybridStore,
+    ParameterStore,
+    ShardedStore,
+)
 from .systems import (
     BaselineOffloadSystem,
     GPUOnlySystem,
     GSScaleSystem,
+    ShardedGSScaleSystem,
+    ShardReport,
     StepReport,
     TrainingSystem,
     TransferLedger,
@@ -15,12 +29,19 @@ from .trainer import EvalResult, Trainer, TrainingHistory
 
 __all__ = [
     "BaselineOffloadSystem",
+    "DeviceStore",
     "EvalResult",
     "GPUOnlySystem",
     "GSScaleConfig",
     "GSScaleSystem",
+    "HostStore",
+    "HybridStore",
     "ImageSplit",
+    "ParameterStore",
     "SYSTEM_NAMES",
+    "ShardReport",
+    "ShardedGSScaleSystem",
+    "ShardedStore",
     "StepReport",
     "Trainer",
     "TrainingHistory",
@@ -28,4 +49,6 @@ __all__ = [
     "TransferLedger",
     "create_system",
     "find_balanced_split",
+    "find_balanced_split_by",
+    "spatial_partition",
 ]

@@ -1,62 +1,48 @@
 """Training checkpoints: save and resume a system mid-run.
 
 Long GS-Scale runs (30k iterations in the paper) need restartability. A
-checkpoint captures the committed parameter state, the optimizer moments,
-the deferred counters, and the iteration counter — enough to resume
-training bit-exactly for the dense systems and within the deferred
-approximation otherwise.
+checkpoint captures, for every leaf parameter store of the system, the
+committed parameter block, the optimizer moments, the deferred counters,
+and the step counter — plus each store's column block and (for sharded
+systems) its global row ids, so a packed model can be reassembled without
+knowing the system's placement. Enough to resume training bit-exactly for
+the dense systems and within the deferred approximation otherwise.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..gaussians import GaussianModel
-from .systems import (
-    BaselineOffloadSystem,
-    GPUOnlySystem,
-    GSScaleSystem,
-    TrainingSystem,
-)
+from ..gaussians import GaussianModel, layout
+from .systems import TrainingSystem
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+def _prefix(p: str) -> str:
+    return f"{p}_" if p else ""
 
 
 def save_checkpoint(path: str, system: TrainingSystem) -> None:
     """Serialize ``system`` to an ``.npz`` checkpoint.
 
-    Pending forwarded gradients are committed first (the checkpoint always
-    holds a consistent, committed state).
+    Pending forwarded gradients and deferred drift are committed first
+    (the checkpoint always holds a consistent, committed state).
     """
     system.finalize()
     arrays: dict[str, np.ndarray] = {
         "version": np.array(_FORMAT_VERSION),
         "system": np.array(system.name),
         "iteration": np.array(system.iteration),
+        "num_gaussians": np.array(system.num_gaussians),
     }
-    if isinstance(system, GSScaleSystem):
-        arrays["device_geo"] = system.device_geo
-        arrays["geo_m"] = system.geo_optimizer.m
-        arrays["geo_v"] = system.geo_optimizer.v
-        arrays["geo_steps"] = np.array(system.geo_optimizer.step_count)
-        arrays["host_non_geo"] = system.host_non_geo
-        arrays["host_m"] = system.host_optimizer.m
-        arrays["host_v"] = system.host_optimizer.v
-        arrays["host_steps"] = np.array(system.host_optimizer.step_count)
-        if system.deferred:
-            arrays["host_counter"] = system.host_optimizer.counter
-    elif isinstance(system, (GPUOnlySystem, BaselineOffloadSystem)):
-        params = (
-            system.params
-            if isinstance(system, GPUOnlySystem)
-            else system.host_params
-        )
-        arrays["params"] = params
-        arrays["m"] = system.optimizer.m
-        arrays["v"] = system.optimizer.v
-        arrays["steps"] = np.array(system.optimizer.step_count)
-    else:
-        raise TypeError(f"cannot checkpoint system type {type(system)!r}")
+    for prefix, store, rows in system.checkpoint_entries():
+        p = _prefix(prefix)
+        for key, value in store.state_dict().items():
+            arrays[p + key] = value
+        arrays[p + "cols"] = np.array([store.block.start, store.block.stop])
+        if rows is not None:
+            arrays[p + "rows"] = rows
     np.savez_compressed(path, **arrays)
 
 
@@ -64,7 +50,8 @@ def load_checkpoint(path: str, system: TrainingSystem) -> None:
     """Restore a checkpoint into a freshly constructed ``system``.
 
     The system must have been created with the same configuration (system
-    name and scene size) the checkpoint was saved from.
+    name, scene size, and — for sharded systems — shard layout) the
+    checkpoint was saved from.
     """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["version"])
@@ -76,38 +63,46 @@ def load_checkpoint(path: str, system: TrainingSystem) -> None:
                 f"checkpoint is for system {saved_system!r}, got "
                 f"{system.name!r}"
             )
-        system.iteration = int(data["iteration"])
-        if isinstance(system, GSScaleSystem):
-            system.device_geo[...] = data["device_geo"]
-            system.geo_optimizer.m[...] = data["geo_m"]
-            system.geo_optimizer.v[...] = data["geo_v"]
-            system.geo_optimizer.step_count = int(data["geo_steps"])
-            system.host_non_geo[...] = data["host_non_geo"]
-            system.host_optimizer.m[...] = data["host_m"]
-            system.host_optimizer.v[...] = data["host_v"]
-            system.host_optimizer.step_count = int(data["host_steps"])
-            if system.deferred:
-                system.host_optimizer.counter[...] = data["host_counter"]
-        else:
-            target = (
-                system.params
-                if isinstance(system, GPUOnlySystem)
-                else system.host_params
+        if int(data["num_gaussians"]) != system.num_gaussians:
+            raise ValueError(
+                f"checkpoint holds {int(data['num_gaussians'])} Gaussians, "
+                f"system has {system.num_gaussians}"
             )
-            target[...] = data["params"]
-            system.optimizer.m[...] = data["m"]
-            system.optimizer.v[...] = data["v"]
-            system.optimizer.step_count = int(data["steps"])
+        system.iteration = int(data["iteration"])
+        for prefix, store, rows in system.checkpoint_entries():
+            p = _prefix(prefix)
+            if rows is not None and not np.array_equal(data[p + "rows"], rows):
+                raise ValueError(
+                    f"shard layout of store {prefix!r} differs from the "
+                    "checkpoint (was the model or num_shards changed?)"
+                )
+            state = {
+                key: data[p + key]
+                for key in ("params", "m", "v", "steps", "counter")
+                if p + key in data
+            }
+            store.load_state_dict(state)
 
 
 def resume_model(path: str) -> GaussianModel:
-    """Extract just the (committed) Gaussian model from a checkpoint."""
+    """Extract just the (committed) Gaussian model from a checkpoint.
+
+    Reassembles the packed ``(N, 59)`` matrix from every store's column
+    block and row ids, independent of the placement that produced it.
+    """
     with np.load(path, allow_pickle=False) as data:
-        if "params" in data:
-            return GaussianModel(data["params"].copy())
-        params = np.empty(
-            (data["device_geo"].shape[0], 59), dtype=data["device_geo"].dtype
-        )
-        params[:, :10] = data["device_geo"]
-        params[:, 10:] = data["host_non_geo"]
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        n = int(data["num_gaussians"])
+        prefixes = [k[: -len("cols")] for k in data.files if k.endswith("cols")]
+        dtype = data[prefixes[0] + "params"].dtype
+        params = np.empty((n, layout.PARAM_DIM), dtype=dtype)
+        for p in prefixes:
+            start, stop = (int(c) for c in data[p + "cols"])
+            block = data[p + "params"]
+            if p + "rows" in data:
+                params[data[p + "rows"], start:stop] = block
+            else:
+                params[:, start:stop] = block
         return GaussianModel(params)

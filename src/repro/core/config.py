@@ -12,12 +12,14 @@ from ..optim.lr_schedule import packed_lr_vector
 from ..render.rasterize import RasterConfig
 from ..train.loss import DEFAULT_SSIM_LAMBDA
 
-#: The paper's system variants (Figure 11's four bars).
+#: The paper's system variants (Figure 11's four bars) plus the sharded
+#: multi-device extension (Grendel-style Gaussian sharding over K stores).
 SYSTEM_NAMES = (
     "gpu_only",
     "baseline_offload",
     "gsscale_no_deferred",
     "gsscale",
+    "sharded",
 )
 
 
@@ -45,7 +47,14 @@ class GSScaleConfig:
         beta1, beta2, eps: Adam hyperparameters (eps=1e-15 per gsplat).
         device_capacity_bytes: optional simulated GPU capacity; the
             engine's MemoryTracker raises MemoryError past it, reproducing
-            the OOM behaviour of Figure 11.
+            the OOM behaviour of Figure 11. For the ``sharded`` system this
+            caps the *aggregate* across shards.
+        num_shards: shard count of the ``sharded`` system (spatial
+            partition of the Gaussian set; ignored by the other systems).
+        shard_workers: >1 fans the sharded system's per-shard culling out
+            over a multiprocessing pool of this size; 0/1 stays serial.
+        shard_device_capacity_bytes: optional per-shard device capacity
+            (each shard's MemoryTracker raises MemoryError past it).
         raster: rasterizer thresholds and backend selection.
         engine: one-shot convenience override for ``raster.engine`` — one
             of :data:`repro.render.rasterize.ENGINES` (``"reference"``,
@@ -72,6 +81,9 @@ class GSScaleConfig:
     beta2: float = 0.999
     eps: float = 1e-15
     device_capacity_bytes: int | None = None
+    num_shards: int = 4
+    shard_workers: int = 0
+    shard_device_capacity_bytes: int | None = None
     raster: RasterConfig = field(default_factory=RasterConfig)
     engine: str | None = None
     background: np.ndarray | None = None
@@ -84,6 +96,10 @@ class GSScaleConfig:
             )
         if not 0.0 < self.mem_limit <= 1.0:
             raise ValueError("mem_limit must be in (0, 1]")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0")
         if self.engine is not None:
             if self.engine != self.raster.engine:
                 # replace() re-runs RasterConfig validation on the name

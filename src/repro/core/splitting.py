@@ -1,16 +1,27 @@
-"""Balance-aware image splitting (Section 4.4).
+"""Balance-aware splitting: image regions (Section 4.4) and Gaussian shards.
 
-When the most demanding training view would stage more than ``mem_limit``
-of all Gaussians, the image is partitioned into two vertical sub-regions
-processed back-to-back, halving peak staging memory. A naive midpoint split
-leaves the halves unbalanced (Gaussian density varies across the image), so
-the split column is found once per view by a 5-step binary search that
-equalizes per-side visible counts.
+Two partitioning problems share the same balance philosophy:
+
+* **Image splitting** — when the most demanding training view would stage
+  more than ``mem_limit`` of all Gaussians, the image is partitioned into
+  two vertical sub-regions processed back-to-back, halving peak staging
+  memory. A naive midpoint split leaves the halves unbalanced (Gaussian
+  density varies across the image), so the split column is found once per
+  view by a 5-step binary search that equalizes per-side visible counts.
+  :func:`find_balanced_split_by` accepts an arbitrary visible-count
+  callback so the search also runs over a sharded scene whose geometry is
+  spread across devices.
+
+* **Spatial sharding** — :func:`spatial_partition` splits the Gaussian set
+  itself into K spatially coherent, population-balanced shards (recursive
+  median cuts along the widest axis, the Grendel/TideGS recipe), which the
+  sharded multi-device system assigns one store each.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -51,6 +62,41 @@ def count_visible(
     return frustum_cull(means, log_scales, quats, camera).num_visible
 
 
+def find_balanced_split_by(
+    count_fn: Callable[[Camera], int],
+    camera: Camera,
+    steps: int = SPLIT_SEARCH_STEPS,
+) -> ImageSplit:
+    """Find a near-balanced vertical split using a visible-count callback.
+
+    ``count_fn`` maps a (cropped) camera to its visible-Gaussian count.
+    The single-device systems pass a closure over the resident geometric
+    block; the sharded system passes one summing per-shard frustum culls,
+    which yields an identical search trajectory (counts are additive over
+    a partition of the scene).
+    """
+    width = camera.width
+    lo, hi = 0, width
+    split = width // 2
+    for _ in range(steps):
+        n_left = count_fn(camera.crop(0, max(split, 1)))
+        n_right = count_fn(camera.crop(min(split, width - 1), width))
+        if n_left > n_right:
+            hi = split
+        else:
+            lo = split
+        split = (lo + hi) // 2
+    split = int(np.clip(split, 1, width - 1))
+    left_cam = camera.crop(0, split)
+    right_cam = camera.crop(split, width)
+    n_left = count_fn(left_cam)
+    n_right = count_fn(right_cam)
+    total = max(n_left + n_right, 1)
+    return ImageSplit(
+        split_x=split, left=left_cam, right=right_cam, balance=n_left / total
+    )
+
+
 def find_balanced_split(
     means: np.ndarray,
     log_scales: np.ndarray,
@@ -65,25 +111,38 @@ def find_balanced_split(
     attributes are consulted, so this runs on the GPU-resident block under
     selective offloading.
     """
-    width = camera.width
-    lo, hi = 0, width
-    split = width // 2
-    for _ in range(steps):
-        left_cam = camera.crop(0, max(split, 1))
-        right_cam = camera.crop(min(split, width - 1), width)
-        n_left = count_visible(means, log_scales, quats, left_cam)
-        n_right = count_visible(means, log_scales, quats, right_cam)
-        if n_left > n_right:
-            hi = split
-        else:
-            lo = split
-        split = (lo + hi) // 2
-    split = int(np.clip(split, 1, width - 1))
-    left_cam = camera.crop(0, split)
-    right_cam = camera.crop(split, width)
-    n_left = count_visible(means, log_scales, quats, left_cam)
-    n_right = count_visible(means, log_scales, quats, right_cam)
-    total = max(n_left + n_right, 1)
-    return ImageSplit(
-        split_x=split, left=left_cam, right=right_cam, balance=n_left / total
+    return find_balanced_split_by(
+        lambda cam: count_visible(means, log_scales, quats, cam),
+        camera,
+        steps=steps,
     )
+
+
+def spatial_partition(means: np.ndarray, num_shards: int) -> list[np.ndarray]:
+    """Partition Gaussians into ``num_shards`` spatially coherent shards.
+
+    Repeatedly splits the most populated shard at the median of its widest
+    world-space axis (recursive balanced k-d cuts — the spatial sharding
+    used by Grendel's Gaussian distribution and TideGS's out-of-core
+    blocks). Returns sorted, disjoint global index arrays covering every
+    Gaussian; deterministic for a given input.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    n = means.shape[0]
+    parts: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    while len(parts) < num_shards:
+        widest = int(np.argmax([p.size for p in parts]))
+        ids = parts[widest]
+        if ids.size < 2:
+            break  # more shards than Gaussians: leave the rest empty
+        pts = means[ids]
+        axis = int(np.argmax(np.ptp(pts, axis=0)))
+        order = np.argsort(pts[:, axis], kind="stable")
+        half = ids.size // 2
+        left = np.sort(ids[order[:half]])
+        right = np.sort(ids[order[half:]])
+        parts[widest : widest + 1] = [left, right]
+    while len(parts) < num_shards:
+        parts.append(np.empty(0, dtype=np.int64))
+    return parts

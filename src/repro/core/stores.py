@@ -1,0 +1,593 @@
+"""Composable parameter-placement stores.
+
+The paper's contribution is a *placement policy* for the packed ``(N, 59)``
+parameter matrix: which column block lives where, how rows reach the device
+for a render, and when gradients are committed. This module factors that
+policy out of the training systems into first-class stores, each owning
+
+* its slice of the packed parameter matrix (a :class:`~repro.gaussians.\
+layout.ColumnBlock`),
+* its optimizer (dense or deferred Adam behind the
+  :class:`~repro.optim.base.SparseOptimizer` surface),
+* its :class:`~repro.sim.memory.MemoryTracker` charges (resident state and
+  per-step staging windows), and
+* its :class:`~repro.core.systems.TransferLedger` traffic.
+
+A training step drives a store through four explicit operations::
+
+    values = store.stage(ids)        # rows for the render (H2D for host rows)
+    ...render / backward...
+    store.unstage(ids)               # gradient return (D2H) + staging freed
+    store.commit()                   # lazy commit of the previous step
+    store.return_grads(ids, grads)   # hand this step's gradients over
+
+plus ``materialize()`` for the mathematically current values and ``flush()``
+to settle all lazy state. The three placements:
+
+* :class:`DeviceStore` — rows resident on the device; gradients applied
+  immediately; no PCIe traffic (the GPU-only system, and the geometric
+  block under selective offloading).
+* :class:`HostStore` — rows resident on the host; staging windows are
+  charged to device memory and the ledger; with ``forwarding`` the staged
+  values are optimizer peeks of the not-yet-committed update and gradients
+  wait for the next ``commit()`` (Sections 4.2.2/4.3.3), otherwise the
+  optimizer steps synchronously (the Section 4.1 baseline).
+* :class:`HybridStore` — composition of child stores over disjoint column
+  blocks presenting one packed surface (GS-Scale's device-geometric +
+  host-non-geometric split; also each shard of the sharded system).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..gaussians import layout
+from ..gaussians.layout import ColumnBlock
+from ..optim.adam import DenseAdam
+from ..optim.base import AdamConfig, SparseOptimizer
+from ..optim.deferred import DeferredAdam
+
+_F32 = 4  # accounting is in float32-equivalent bytes
+
+
+class ParameterStore(ABC):
+    """One placement of a column block of the packed parameter matrix."""
+
+    #: the packed columns this store owns
+    block: ColumnBlock
+
+    @property
+    def dim(self) -> int:
+        """Number of columns owned by this store."""
+        return self.block.dim
+
+    @property
+    @abstractmethod
+    def num_rows(self) -> int:
+        """Number of parameter rows (Gaussians) in the store."""
+
+    # -- step-facing operations -------------------------------------------
+    @abstractmethod
+    def stage(self, ids: np.ndarray) -> np.ndarray:
+        """Rows ``ids`` as the next render must see them.
+
+        Host placements charge the staging window (parameters + the
+        gradient buffer that will come back) to device memory and record
+        the host-to-device transfer.
+        """
+
+    @abstractmethod
+    def unstage(self, ids: np.ndarray, returned: bool = True) -> None:
+        """Release the staging window of :meth:`stage`.
+
+        ``returned`` records the device-to-host gradient transfer; pass
+        ``False`` when unwinding from a failed render.
+        """
+
+    @abstractmethod
+    def return_grads(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Hand one step's aggregated gradients to the placement policy.
+
+        Device placements apply them immediately; forwarding host
+        placements park them for the next :meth:`commit`. An empty ``ids``
+        still ticks the optimizer (its step counter must advance every
+        iteration).
+        """
+
+    @abstractmethod
+    def commit(self) -> None:
+        """Apply the lazy (parked) update of the previous step, if any."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Settle all lazy state: pending gradients and deferred drift."""
+
+    @abstractmethod
+    def materialize(self, ids: np.ndarray | None = None) -> np.ndarray:
+        """Mathematically current values (copy), including lazy state."""
+
+    # -- shared surface ----------------------------------------------------
+    @property
+    def dtype(self):
+        """Floating dtype of the stored parameters."""
+        return self.params.dtype
+
+    @abstractmethod
+    def set_lr(self, lr_packed: np.ndarray) -> None:
+        """Update learning rates from a packed-layout ``(59,)`` vector."""
+
+    def geometry(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resident ``(means, log_scales, quats)`` views for culling.
+
+        Only available on stores whose block contains the geometric
+        columns.
+        """
+        params = self._resident_params()
+        return (
+            params[:, self.block.local(layout.MEAN_SLICE)],
+            params[:, self.block.local(layout.SCALE_SLICE)],
+            params[:, self.block.local(layout.QUAT_SLICE)],
+        )
+
+    def _resident_params(self) -> np.ndarray:
+        raise NotImplementedError(
+            f"store over block {self.block.name!r} holds no resident rows"
+        )
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Optimizer + parameter state for checkpointing."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output into a same-shaped store."""
+        raise NotImplementedError
+
+
+def _leaf_state_dict(optimizer: SparseOptimizer) -> dict[str, np.ndarray]:
+    state = {
+        "params": optimizer.params,
+        "m": optimizer.m,
+        "v": optimizer.v,
+        "steps": np.array(optimizer.step_count),
+    }
+    if isinstance(optimizer, DeferredAdam):
+        state["counter"] = optimizer.counter
+    return state
+
+
+def _load_leaf_state(
+    optimizer: SparseOptimizer, state: dict[str, np.ndarray]
+) -> None:
+    optimizer.params[...] = state["params"]
+    optimizer.m[...] = state["m"]
+    optimizer.v[...] = state["v"]
+    optimizer.step_count = int(state["steps"])
+    if isinstance(optimizer, DeferredAdam):
+        optimizer.counter[...] = state["counter"]
+
+
+class DeviceStore(ParameterStore):
+    """Rows resident on the device with a dense optimizer.
+
+    Charges parameters, gradients, and both Adam moments to the device
+    tracker at construction; staging is free (device-to-device) and
+    gradients are applied synchronously.
+
+    Args:
+        params_block: ``(N, dim)`` rows of the owned block (copied).
+        block: the packed columns the rows correspond to.
+        adam: optimizer hyperparameters with the block's lr slice.
+        memory: device tracker charged for the resident state.
+        label: memory-category prefix (``"geo"`` gives ``geo_params`` ...).
+    """
+
+    def __init__(
+        self,
+        params_block: np.ndarray,
+        block: ColumnBlock,
+        adam: AdamConfig,
+        memory,
+        label: str = "",
+    ):
+        self.block = block
+        self.memory = memory
+        self.params = params_block.copy()
+        self.optimizer: SparseOptimizer = DenseAdam(self.params, adam)
+        sep = "_" if label else ""
+        self._categories = (
+            f"{label}{sep}params",
+            f"{label}{sep}grads",
+            f"{label}{sep}opt_states",
+        )
+        state = layout.param_bytes(self.num_rows, self.dim)
+        self.memory.allocate(self._categories[0], state)
+        self.memory.allocate(self._categories[1], state)
+        self.memory.allocate(self._categories[2], 2 * state)
+
+    @property
+    def num_rows(self) -> int:
+        return self.params.shape[0]
+
+    def stage(self, ids: np.ndarray) -> np.ndarray:
+        return self.params[ids]
+
+    def unstage(self, ids: np.ndarray, returned: bool = True) -> None:
+        pass  # nothing was staged; gradients never leave the device
+
+    def return_grads(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        self.optimizer.step_rows(ids, grads)
+
+    def commit(self) -> None:
+        pass  # updates are synchronous
+
+    def flush(self) -> None:
+        pass
+
+    def materialize(self, ids: np.ndarray | None = None) -> np.ndarray:
+        if ids is None:
+            return self.params.copy()
+        return self.params[ids]
+
+    def set_lr(self, lr_packed: np.ndarray) -> None:
+        self.optimizer.set_lr(lr_packed[self.block.sl])
+
+    def _resident_params(self) -> np.ndarray:
+        return self.params
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return _leaf_state_dict(self.optimizer)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        _load_leaf_state(self.optimizer, state)
+
+
+class HostStore(ParameterStore):
+    """Rows resident on the host; staged to the device per step.
+
+    Args:
+        params_block: ``(N, dim)`` rows of the owned block (copied).
+        block: the packed columns the rows correspond to.
+        adam: optimizer hyperparameters with the block's lr slice.
+        memory: device tracker charged for the staging windows.
+        ledger: transfer ledger recording the staging traffic.
+        forwarding: stage optimizer *peeks* of the not-yet-committed
+            update and park returned gradients until :meth:`commit`
+            (parameter forwarding + lazy host commit). ``False`` stages
+            raw rows and steps synchronously (the baseline).
+        deferred: use :class:`DeferredAdam` (requires ``forwarding``).
+        max_defer: deferred-counter saturation.
+    """
+
+    def __init__(
+        self,
+        params_block: np.ndarray,
+        block: ColumnBlock,
+        adam: AdamConfig,
+        memory,
+        ledger,
+        forwarding: bool = False,
+        deferred: bool = False,
+        max_defer: int = 15,
+    ):
+        if deferred and not forwarding:
+            raise ValueError("deferred updates require the forwarding pipeline")
+        self.block = block
+        self.memory = memory
+        self.ledger = ledger
+        self.forwarding = forwarding
+        self.deferred = deferred
+        self.params = params_block.copy()
+        if deferred:
+            self.optimizer: SparseOptimizer = DeferredAdam(
+                self.params, adam, max_defer=max_defer
+            )
+        else:
+            self.optimizer = DenseAdam(self.params, adam)
+        self._pending_ids: np.ndarray | None = None
+        self._pending_grads: np.ndarray | None = None
+
+    @property
+    def num_rows(self) -> int:
+        return self.params.shape[0]
+
+    def _staged_bytes(self, ids: np.ndarray) -> int:
+        return ids.size * self.dim * _F32
+
+    # -- parameter forwarding ---------------------------------------------
+    def _forwarded_values(self, ids: np.ndarray) -> np.ndarray:
+        """Pre-updated rows for the next render (Section 4.2.2 / 4.3.3):
+        peek the post-commit values without mutating any host state."""
+        if self._pending_ids is None:
+            if self.deferred:
+                return self.optimizer.materialized_params(ids)
+            return self.params[ids]  # advanced indexing already copies
+        # a pending step exists (possibly with zero rows of overlap, or —
+        # for an inactive shard — zero rows at all): peek *through* it
+        return self.optimizer.peek_updated(
+            ids, self._scatter_pending(ids)
+        )
+
+    def _scatter_pending(self, ids: np.ndarray) -> np.ndarray:
+        """Pending gradient rows aligned with ``ids`` (zeros elsewhere)."""
+        pending_rows = np.zeros((ids.size, self.dim), dtype=self.params.dtype)
+        if self._pending_ids.size and ids.size:
+            pos = np.searchsorted(self._pending_ids, ids)
+            pos = np.clip(pos, 0, self._pending_ids.size - 1)
+            hit = self._pending_ids[pos] == ids
+            pending_rows[hit] = self._pending_grads[pos[hit]]
+        return pending_rows
+
+    # -- step-facing operations -------------------------------------------
+    def stage(self, ids: np.ndarray) -> np.ndarray:
+        staged = self._staged_bytes(ids)
+        self.memory.allocate("staged_params", staged)
+        try:
+            self.memory.allocate("staged_grads", staged)
+        except MemoryError:
+            # leave nothing charged when the window doesn't fit
+            self.memory.free("staged_params", staged)
+            raise
+        self.ledger.record_h2d(staged)
+        if self.forwarding:
+            return self._forwarded_values(ids)
+        return self.params[ids]  # advanced indexing already copies
+
+    def unstage(self, ids: np.ndarray, returned: bool = True) -> None:
+        staged = self._staged_bytes(ids)
+        if returned:
+            self.ledger.record_d2h(staged)
+        self.memory.free("staged_params", staged)
+        self.memory.free("staged_grads", staged)
+
+    def return_grads(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        if self.forwarding:
+            # the lazy host commit happens at the next step's commit()
+            # (step 7 of Figure 8, overlapped with GPU work in real time);
+            # an empty batch still pends so the optimizer ticks exactly
+            # once per training step
+            self._pending_ids = np.asarray(ids, dtype=np.int64)
+            self._pending_grads = grads
+        else:
+            self.optimizer.step_rows(ids, grads)
+
+    def commit(self) -> None:
+        if self._pending_ids is None:
+            return
+        self.optimizer.step_rows(self._pending_ids, self._pending_grads)
+        self._pending_ids = None
+        self._pending_grads = None
+
+    def flush(self) -> None:
+        self.commit()
+        if self.deferred:
+            self.optimizer.flush()
+
+    def materialize(self, ids: np.ndarray | None = None) -> np.ndarray:
+        if self._pending_ids is not None:
+            all_ids = np.arange(self.num_rows) if ids is None else ids
+            return self.optimizer.peek_updated(
+                all_ids, self._scatter_pending(all_ids)
+            )
+        if self.deferred:
+            return self.optimizer.materialized_params(ids)
+        if ids is None:
+            return self.params.copy()
+        return self.params[ids]
+
+    def set_lr(self, lr_packed: np.ndarray) -> None:
+        self.optimizer.set_lr(lr_packed[self.block.sl])
+
+    def _resident_params(self) -> np.ndarray:
+        return self.params
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return _leaf_state_dict(self.optimizer)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        _load_leaf_state(self.optimizer, state)
+
+
+class HybridStore(ParameterStore):
+    """Composition of child stores over disjoint column blocks.
+
+    Presents the union of the children's columns as one packed surface:
+    ``stage`` assembles full rows from every child, ``return_grads`` splits
+    the gradient columns back. Children are driven in construction order
+    (the device-geometric child first mirrors GS-Scale's step 4-then-7
+    ordering).
+    """
+
+    def __init__(self, children: list[ParameterStore]):
+        if not children:
+            raise ValueError("HybridStore needs at least one child store")
+        rows = {c.num_rows for c in children}
+        if len(rows) != 1:
+            raise ValueError(f"children disagree on row count: {rows}")
+        # blocks must tile a contiguous range: a gap would leave
+        # uninitialized columns in every stage()/materialize() output
+        for prev, nxt in zip(children, children[1:]):
+            if nxt.block.start != prev.block.stop:
+                raise ValueError(
+                    f"child blocks must be ordered and contiguous; "
+                    f"{prev.block.name!r} ends at {prev.block.stop} but "
+                    f"{nxt.block.name!r} starts at {nxt.block.start}"
+                )
+        self.children = list(children)
+        self.block = ColumnBlock(
+            "+".join(c.block.name for c in children),
+            children[0].block.start,
+            children[-1].block.stop,
+        )
+
+    def _local(self, child: ParameterStore) -> slice:
+        return self.block.local(child.block.sl)
+
+    @property
+    def num_rows(self) -> int:
+        return self.children[0].num_rows
+
+    @property
+    def dtype(self):
+        return self.children[0].dtype
+
+    def stage(self, ids: np.ndarray) -> np.ndarray:
+        out = np.empty((ids.size, self.dim), dtype=self.dtype)
+        staged: list[ParameterStore] = []
+        try:
+            for child in self.children:
+                out[:, self._local(child)] = child.stage(ids)
+                staged.append(child)
+        except Exception:
+            # unwind partial staging so an OOM leaves nothing charged
+            for child in reversed(staged):
+                child.unstage(ids, returned=False)
+            raise
+        return out
+
+    def unstage(self, ids: np.ndarray, returned: bool = True) -> None:
+        for child in self.children:
+            child.unstage(ids, returned=returned)
+
+    def return_grads(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        for child in self.children:
+            child.return_grads(ids, grads[:, self._local(child)])
+
+    def commit(self) -> None:
+        for child in self.children:
+            child.commit()
+
+    def flush(self) -> None:
+        for child in self.children:
+            child.flush()
+
+    def materialize(self, ids: np.ndarray | None = None) -> np.ndarray:
+        n = self.num_rows if ids is None else ids.size
+        out = np.empty((n, self.dim), dtype=self.dtype)
+        for child in self.children:
+            out[:, self._local(child)] = child.materialize(ids)
+        return out
+
+    def set_lr(self, lr_packed: np.ndarray) -> None:
+        for child in self.children:
+            child.set_lr(lr_packed)
+
+    def geometry(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        for child in self.children:
+            if child.block.contains(layout.MEAN_SLICE):
+                return child.geometry()
+        raise NotImplementedError("no child owns the geometric columns")
+
+
+class ShardedStore(ParameterStore):
+    """Row-wise composition: K disjoint shards, each backed by its own store.
+
+    The row-space analogue of :class:`HybridStore`: every shard owns a
+    sorted array of global Gaussian ids (a spatial partition from
+    :func:`repro.core.splitting.spatial_partition`) and a store — in the
+    sharded GS-Scale system a :class:`HybridStore` with its own device
+    tracker and transfer ledger, modeling one GPU per shard.
+
+    ``stage``/``unstage`` touch only the shards with visible members
+    (per-view shard activation: an out-of-frustum shard costs no staging
+    memory and no PCIe traffic). ``return_grads`` always visits every
+    shard — inactive shards receive an empty batch so each shard's
+    optimizer ticks exactly once per training step, keeping per-row
+    trajectories identical to the unsharded system.
+    """
+
+    def __init__(
+        self, shard_rows: list[np.ndarray], stores: list[ParameterStore]
+    ):
+        if len(shard_rows) != len(stores) or not stores:
+            raise ValueError("need one store per (non-empty list of) shard")
+        for rows, store in zip(shard_rows, stores):
+            if rows.size != store.num_rows:
+                raise ValueError("shard row count disagrees with its store")
+        self.shard_rows = [np.asarray(r, dtype=np.int64) for r in shard_rows]
+        self.stores = list(stores)
+        self.block = stores[0].block
+        self._num_rows = int(sum(r.size for r in self.shard_rows))
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def dtype(self):
+        return self.stores[0].dtype
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.stores)
+
+    def _members(self, ids: np.ndarray, rows: np.ndarray):
+        """``(sel, local)``: positions within ``ids`` of this shard's
+        members, and their shard-local row indices."""
+        if rows.size == 0 or ids.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        pos = np.searchsorted(rows, ids)
+        pos = np.clip(pos, 0, rows.size - 1)
+        hit = rows[pos] == ids
+        sel = np.nonzero(hit)[0]
+        return sel, pos[sel]
+
+    def stage(self, ids: np.ndarray) -> np.ndarray:
+        out = np.empty((ids.size, self.dim), dtype=self.dtype)
+        staged: list[tuple[ParameterStore, np.ndarray]] = []
+        try:
+            for rows, store in zip(self.shard_rows, self.stores):
+                sel, local = self._members(ids, rows)
+                if sel.size:
+                    out[sel] = store.stage(local)
+                    staged.append((store, local))
+        except Exception:
+            # unwind the shards already staged (per-shard OOM mid-step)
+            for store, local in reversed(staged):
+                store.unstage(local, returned=False)
+            raise
+        return out
+
+    def unstage(self, ids: np.ndarray, returned: bool = True) -> None:
+        for rows, store in zip(self.shard_rows, self.stores):
+            _, local = self._members(ids, rows)
+            if local.size:
+                store.unstage(local, returned=returned)
+
+    def return_grads(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        for rows, store in zip(self.shard_rows, self.stores):
+            sel, local = self._members(ids, rows)
+            store.return_grads(local, grads[sel])
+
+    def commit(self) -> None:
+        for store in self.stores:
+            store.commit()
+
+    def flush(self) -> None:
+        for store in self.stores:
+            store.flush()
+
+    def materialize(self, ids: np.ndarray | None = None) -> np.ndarray:
+        if ids is None:
+            out = np.empty((self.num_rows, self.dim), dtype=self.dtype)
+            for rows, store in zip(self.shard_rows, self.stores):
+                out[rows] = store.materialize()
+            return out
+        out = np.empty((ids.size, self.dim), dtype=self.dtype)
+        for rows, store in zip(self.shard_rows, self.stores):
+            sel, local = self._members(ids, rows)
+            if sel.size:
+                out[sel] = store.materialize(local)
+        return out
+
+    def set_lr(self, lr_packed: np.ndarray) -> None:
+        for store in self.stores:
+            store.set_lr(lr_packed)
+
+    def geometry(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError(
+            "sharded geometry is distributed; cull per shard instead"
+        )

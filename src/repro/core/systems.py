@@ -1,27 +1,36 @@
-"""Functional implementations of the four training systems of Figure 11.
+"""Functional training systems as thin step-loops over parameter stores.
 
 Unlike :mod:`repro.sim` (which *models time*), these systems *execute
 training*: real culling, real rendering, real gradients, real optimizer
-state — with parameter placement, staging, and transfer ledgers faithfully
-mirroring each system's data movement:
+state. All placement policy — which column block lives where, staging,
+ledger traffic, memory charges, lazy commits — lives in
+:mod:`repro.core.stores`; a system is just a store composition plus the
+per-iteration loop (cull, optionally split, render, aggregate, hand
+gradients back):
 
-* :class:`GPUOnlySystem` — everything resident on the device.
-* :class:`BaselineOffloadSystem` — Section 4.1: all 59 parameters on the
-  host, full rows staged per iteration, dense Adam on the host.
-* :class:`GSScaleSystem` — Sections 4.2-4.4: geometric block pinned on the
-  device (selective offloading), non-geometric rows forwarded via
-  optimizer peeks (parameter forwarding), lazy host commits (optionally
-  deferred), and balance-aware image splitting.
+* :class:`GPUOnlySystem` — one :class:`~repro.core.stores.DeviceStore`
+  over all 59 columns.
+* :class:`BaselineOffloadSystem` — Section 4.1: one
+  :class:`~repro.core.stores.HostStore` over all 59 columns, full rows
+  staged per iteration, dense Adam on the host.
+* :class:`GSScaleSystem` — Sections 4.2-4.4: a
+  :class:`~repro.core.stores.HybridStore` of a device-resident geometric
+  block (selective offloading) and a forwarding host store (parameter
+  forwarding + lazy commits, optionally deferred), with balance-aware
+  image splitting.
+* :class:`ShardedGSScaleSystem` — the Grendel/TideGS regime on top of the
+  same stores: the Gaussian set is spatially partitioned into K shards,
+  each backed by its own hybrid store with a per-shard device tracker and
+  transfer ledger (one simulated GPU per shard), per-view shard activation
+  via frustum culling, host-side gradient aggregation across shards, and
+  an optional multiprocessing fan-out of the per-shard culling work.
 
 A :class:`~repro.sim.memory.MemoryTracker` accounts device bytes in fp32
 equivalents, so OOM behaviour and peak-memory ratios can be asserted
-functionally, not just modeled.
-
-Every system renders through the rasterization backend selected by
-``GSScaleConfig.engine`` / ``GSScaleConfig.raster.engine`` (see
-``docs/raster_engines.md``): the ``reference`` loop is the oracle, the
-``vectorized`` engine is what makes Figure-11-scale throughput runs
-practical in numpy.
+functionally, not just modeled. Every system renders through the
+rasterization backend selected by ``GSScaleConfig.engine`` (see
+``docs/raster_engines.md``); the store/system layering itself is described
+in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -33,35 +42,49 @@ import numpy as np
 
 from ..cameras.camera import Camera
 from ..gaussians import GaussianModel, layout
-from ..optim.adam import DenseAdam
-from ..optim.deferred import DeferredAdam
 from ..render import frustum_cull, render, render_backward
+from ..render.culling import CullResult
 from ..sim.memory import ACTIVATION_BYTES_PER_PIXEL, MemoryTracker
 from ..train.loss import photometric_loss
 from .config import GSScaleConfig
-from .splitting import find_balanced_split
-
-_F32 = 4  # accounting is in float32-equivalent bytes
+from .splitting import find_balanced_split_by, spatial_partition
+from .stores import (
+    DeviceStore,
+    HostStore,
+    HybridStore,
+    ParameterStore,
+    ShardedStore,
+)
 
 
 @dataclass
 class TransferLedger:
-    """Counts of simulated PCIe traffic."""
+    """Counts of simulated PCIe traffic.
+
+    A ledger built with a ``parent`` mirrors every record into it, so
+    per-shard ledgers roll up into the system-wide ledger the trainer
+    reads.
+    """
 
     h2d_bytes: int = 0
     d2h_bytes: int = 0
     h2d_count: int = 0
     d2h_count: int = 0
+    parent: "TransferLedger | None" = None
 
     def record_h2d(self, num_bytes: int) -> None:
         """Record a host-to-device transfer."""
         self.h2d_bytes += num_bytes
         self.h2d_count += 1
+        if self.parent is not None:
+            self.parent.record_h2d(num_bytes)
 
     def record_d2h(self, num_bytes: int) -> None:
         """Record a device-to-host transfer."""
         self.d2h_bytes += num_bytes
         self.d2h_count += 1
+        if self.parent is not None:
+            self.parent.record_d2h(num_bytes)
 
 
 @dataclass
@@ -70,7 +93,11 @@ class StepReport:
 
     Attributes:
         iteration: 1-based step index.
-        loss, l1, ssim: photometric loss and its components.
+        loss, l1, ssim: photometric loss and its components. A step in
+            which nothing was visible reports ``loss = l1 = 0.0`` and
+            ``ssim = nan`` (there was no image to compare; consumers
+            averaging per-step SSIM must skip NaNs, as
+            :attr:`repro.core.trainer.TrainingHistory.mean_ssim` does).
         num_visible: Gaussians inside the view frustum (union of regions).
         num_regions: 1, or 2+ when image splitting fired.
         valid_ids: the visible indices (for densification).
@@ -88,6 +115,20 @@ class StepReport:
 
 
 @dataclass
+class ShardReport:
+    """Per-shard accounting snapshot of a :class:`ShardedGSScaleSystem`."""
+
+    shard: int
+    num_gaussians: int
+    peak_bytes: int
+    live_bytes: int
+    h2d_bytes: int
+    d2h_bytes: int
+    h2d_count: int
+    d2h_count: int
+
+
+@dataclass
 class _RegionOutput:
     ids: np.ndarray
     grads: np.ndarray
@@ -97,10 +138,32 @@ class _RegionOutput:
     ssim: float
 
 
+def _cull_shard_task(args):
+    """Worker task for the sharded system's culling fan-out (module-level
+    so it pickles under ``multiprocessing``)."""
+    means, log_scales, quats, camera = args
+    res = frustum_cull(means, log_scales, quats, camera)
+    return res.valid_ids, res.num_in_depth
+
+
 class TrainingSystem(ABC):
-    """Common machinery of all four systems."""
+    """Common step-loop machinery; subclasses supply a store composition.
+
+    ``_setup`` must set ``self.store`` (a :class:`ParameterStore` spanning
+    all 59 columns) and ``self._num_gaussians``. The base :meth:`step`
+    then runs the paper's iteration: plan regions (with balance-aware
+    image splitting when the subclass enables it), cull, stage, render,
+    return gradients per region, commit the previous step's lazy update,
+    aggregate on the host, and hand the step's gradients to the store.
+    """
 
     name = "abstract"
+
+    #: whether views whose active ratio exceeds ``mem_limit`` are split
+    #: (Section 4.4); only the staged-offload systems benefit
+    splits_images = False
+
+    store: ParameterStore
 
     def __init__(self, model: GaussianModel, config: GSScaleConfig):
         self.config = config
@@ -118,24 +181,27 @@ class TrainingSystem(ABC):
     # -- subclass surface --------------------------------------------------
     @abstractmethod
     def _setup(self, model: GaussianModel) -> None:
-        """Place parameters and build optimizers."""
+        """Build the store composition (placement + optimizers)."""
 
-    @abstractmethod
-    def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
-        """Run one training iteration."""
-
-    @abstractmethod
     def materialized_model(self) -> GaussianModel:
-        """Mathematically current parameters as a plain model (copy)."""
+        """Mathematically current parameters as a plain model (copy),
+        including pending gradients and deferred drift."""
+        return GaussianModel(self.store.materialize())
 
     def finalize(self) -> None:
         """Commit any pending/lazy state (end of training)."""
+        self.store.flush()
 
     def rebuild(self, model: GaussianModel) -> None:
         """Re-place parameters after a structural change (densification)."""
         self.memory = MemoryTracker(capacity_bytes=self.config.device_capacity_bytes)
         self.ledger = TransferLedger()
         self._setup(model)
+
+    def checkpoint_entries(self) -> list[tuple[str, ParameterStore, np.ndarray | None]]:
+        """``(prefix, leaf store, global row ids or None)`` triples for
+        :mod:`repro.core.checkpoint`."""
+        raise NotImplementedError
 
     # -- shared helpers ----------------------------------------------------
     @property
@@ -150,6 +216,29 @@ class TrainingSystem(ABC):
         lr = self._lr.copy()
         lr[layout.MEAN_SLICE] *= self.config.position_lr_scale_at(self.iteration)
         return lr
+
+    def _cull(self, camera: Camera) -> CullResult:
+        """Frustum culling over the store's resident geometric columns."""
+        means, log_scales, quats = self.store.geometry()
+        return frustum_cull(means, log_scales, quats, camera)
+
+    def _count_visible(self, camera: Camera) -> int:
+        return self._cull(camera).num_visible
+
+    def _plan_regions(
+        self, camera: Camera
+    ) -> tuple[list[tuple[Camera, int]], CullResult | None]:
+        """Render regions for this view, plus the whole-view cull result
+        when it can be reused (single-region case)."""
+        whole = self._cull(camera)
+        if (
+            self.splits_images
+            and whole.active_ratio > self.config.mem_limit
+            and camera.width >= 2
+        ):
+            split = find_balanced_split_by(self._count_visible, camera)
+            return list(split.regions), None
+        return [(camera, 0)], whole
 
     def _render_one(
         self,
@@ -190,7 +279,9 @@ class TrainingSystem(ABC):
     @staticmethod
     def _aggregate(regions: list[_RegionOutput]) -> _RegionOutput:
         """Sum per-region gradients on the "host" (Section 4.4: gradients
-        are aggregated on the CPU, then a single optimizer update runs)."""
+        are aggregated on the CPU, then a single optimizer update runs).
+        The sharded system funnels every shard's regions through the same
+        path — host-side aggregation across shards."""
         if len(regions) == 1:
             return regions[0]
         all_ids = np.concatenate([r.ids for r in regions])
@@ -209,249 +300,38 @@ class TrainingSystem(ABC):
             ssim=float(np.mean([r.ssim for r in regions])),
         )
 
-
-class GPUOnlySystem(TrainingSystem):
-    """Everything on the device; the paper's GPU-only reference."""
-
-    name = "gpu_only"
-
-    def _setup(self, model: GaussianModel) -> None:
-        self._num_gaussians = model.num_gaussians
-        self.params = model.params.copy()
-        self.optimizer = DenseAdam(
-            self.params, self.config.adam_config(self._lr)
-        )
-        n = self._num_gaussians
-        state = layout.param_bytes(n)
-        self.memory.allocate("params", state)
-        self.memory.allocate("grads", state)
-        self.memory.allocate("opt_states", 2 * state)
-
+    # -- the unified training step ----------------------------------------
     def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
+        """Run one training iteration through the store composition."""
         self.iteration += 1
         lr = self._scheduled_lr()
         if lr is not None:
-            self.optimizer.set_lr(lr)
-        model = GaussianModel(self.params)
-        cull = frustum_cull(model.means, model.log_scales, model.quats, camera)
-        ids = cull.valid_ids
-        compact = GaussianModel(self.params[ids])
-        grads, m2d, loss, l1, ssim = self._render_one(
-            compact, camera, gt_image, 1.0
-        )
-        self.optimizer.step_sparse(ids, grads)
-        return StepReport(
-            iteration=self.iteration,
-            loss=loss,
-            l1=l1,
-            ssim=ssim,
-            num_visible=ids.size,
-            num_regions=1,
-            valid_ids=ids,
-            mean2d_abs=m2d,
-        )
+            self.store.set_lr(lr)
 
-    def materialized_model(self) -> GaussianModel:
-        return GaussianModel(self.params.copy())
-
-
-class BaselineOffloadSystem(TrainingSystem):
-    """Baseline host offloading (Section 4.1, Figure 6): all parameters and
-    optimizer state on the host; full 59-parameter rows staged on demand;
-    dense Adam on the host CPU."""
-
-    name = "baseline_offload"
-
-    def _setup(self, model: GaussianModel) -> None:
-        self._num_gaussians = model.num_gaussians
-        self.host_params = model.params.copy()
-        self.optimizer = DenseAdam(
-            self.host_params, self.config.adam_config(self._lr)
-        )
-
-    def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
-        self.iteration += 1
-        lr = self._scheduled_lr()
-        if lr is not None:
-            self.optimizer.set_lr(lr)
-        model = GaussianModel(self.host_params)
-        # Challenge 1: culling must run on the CPU over host-resident params
-        cull = frustum_cull(model.means, model.log_scales, model.quats, camera)
-        ids = cull.valid_ids
-
-        staged_bytes = ids.size * layout.PARAM_DIM * _F32
-        self.memory.allocate("staged_params", staged_bytes)
-        self.memory.allocate("staged_grads", staged_bytes)
-        self.ledger.record_h2d(staged_bytes)
-        try:
-            compact = GaussianModel(self.host_params[ids].copy())
-            grads, m2d, loss, l1, ssim = self._render_one(
-                compact, camera, gt_image, 1.0
-            )
-            self.ledger.record_d2h(staged_bytes)
-        finally:
-            self.memory.free("staged_params", staged_bytes)
-            self.memory.free("staged_grads", staged_bytes)
-
-        # Challenge 2: dense Adam over every host row
-        self.optimizer.step_sparse(ids, grads)
-        return StepReport(
-            iteration=self.iteration,
-            loss=loss,
-            l1=l1,
-            ssim=ssim,
-            num_visible=ids.size,
-            num_regions=1,
-            valid_ids=ids,
-            mean2d_abs=m2d,
-        )
-
-    def materialized_model(self) -> GaussianModel:
-        return GaussianModel(self.host_params.copy())
-
-
-class GSScaleSystem(TrainingSystem):
-    """GS-Scale with selective offloading, parameter forwarding, optional
-    deferred optimizer update, and balance-aware image splitting."""
-
-    name = "gsscale"
-
-    def __init__(
-        self, model: GaussianModel, config: GSScaleConfig, deferred: bool = True
-    ):
-        self.deferred = deferred
-        super().__init__(model, config)
-        if not deferred:
-            self.name = "gsscale_no_deferred"
-
-    def _setup(self, model: GaussianModel) -> None:
-        self._num_gaussians = n = model.num_gaussians
-        cfg = self.config
-
-        # selective offloading: geometric block + its optimizer state live
-        # on the device (Section 4.2.1)
-        self.device_geo = model.geometric.copy()
-        self.geo_optimizer = DenseAdam(
-            self.device_geo,
-            cfg.adam_config(self._lr[layout.GEOMETRIC_SLICE]),
-        )
-        geo_state = layout.param_bytes(n, layout.GEOMETRIC_DIM)
-        self.memory.allocate("geo_params", geo_state)
-        self.memory.allocate("geo_grads", geo_state)
-        self.memory.allocate("geo_opt_states", 2 * geo_state)
-
-        # non-geometric block stays on the host
-        self.host_non_geo = model.non_geometric.copy()
-        host_cfg = cfg.adam_config(self._lr[layout.NON_GEOMETRIC_SLICE])
-        if self.deferred:
-            self.host_optimizer = DeferredAdam(
-                self.host_non_geo, host_cfg, max_defer=cfg.max_defer
-            )
-        else:
-            self.host_optimizer = DenseAdam(self.host_non_geo, host_cfg)
-
-        # parameter-forwarding pipeline state: previous iteration's
-        # gradients, not yet committed on the host
-        self._pending_ids: np.ndarray | None = None
-        self._pending_grads: np.ndarray | None = None
-
-    # -- parameter forwarding ------------------------------------------------
-    def _forwarded_values(self, ids: np.ndarray) -> np.ndarray:
-        """Pre-updated non-geometric rows for the next render (Section
-        4.2.2 / 4.3.3): peek the post-commit values without mutating any
-        host state."""
-        if self._pending_ids is None or self._pending_ids.size == 0:
-            if self.deferred:
-                return self.host_optimizer.materialized_params(ids)
-            return self.host_non_geo[ids].copy()
-        pending_rows = np.zeros(
-            (ids.size, layout.NON_GEOMETRIC_DIM), dtype=self.host_non_geo.dtype
-        )
-        pos = np.searchsorted(self._pending_ids, ids)
-        pos = np.clip(pos, 0, self._pending_ids.size - 1)
-        hit = self._pending_ids[pos] == ids
-        pending_rows[hit] = self._pending_grads[pos[hit]]
-        return self.host_optimizer.peek_updated(ids, pending_rows)
-
-    def _commit_pending(self) -> None:
-        """The lazy host update of the previous iteration (step 5 in
-        Figure 8), which the real system overlaps with GPU work."""
-        if self._pending_ids is None:
-            return
-        if self.deferred:
-            self.host_optimizer.step(self._pending_ids, self._pending_grads)
-        else:
-            self.host_optimizer.step_sparse(self._pending_ids, self._pending_grads)
-        self._pending_ids = None
-        self._pending_grads = None
-
-    # -- geometry access -----------------------------------------------------
-    @property
-    def _geo_means(self) -> np.ndarray:
-        return self.device_geo[:, 0:3]
-
-    @property
-    def _geo_log_scales(self) -> np.ndarray:
-        return self.device_geo[:, 3:6]
-
-    @property
-    def _geo_quats(self) -> np.ndarray:
-        return self.device_geo[:, 6:10]
-
-    def _cull(self, camera: Camera):
-        """GPU-side frustum culling over the resident geometric block."""
-        return frustum_cull(
-            self._geo_means, self._geo_log_scales, self._geo_quats, camera
-        )
-
-    # -- training step ---------------------------------------------------------
-    def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
-        self.iteration += 1
-        lr = self._scheduled_lr()
-        if lr is not None:
-            # the position columns live in the device geometric optimizer
-            self.geo_optimizer.set_lr(lr[layout.GEOMETRIC_SLICE])
-
-        whole = self._cull(camera)
-        ratio = whole.active_ratio
-        if ratio > self.config.mem_limit and camera.width >= 2:
-            split = find_balanced_split(
-                self._geo_means, self._geo_log_scales, self._geo_quats, camera
-            )
-            regions = list(split.regions)
-        else:
-            regions = [(camera, 0)]
-
+        regions, whole = self._plan_regions(camera)
         total_px = camera.num_pixels
         outputs: list[_RegionOutput] = []
         for region_cam, x_offset in regions:
             cull = (
-                whole if len(regions) == 1 else self._cull(region_cam)
+                whole
+                if whole is not None and len(regions) == 1
+                else self._cull(region_cam)
             )
             ids = cull.valid_ids
             if ids.size == 0:
                 continue
-            staged_vals = self._forwarded_values(ids)
-            staged_bytes = ids.size * layout.NON_GEOMETRIC_DIM * _F32
-            self.memory.allocate("staged_params", staged_bytes)
-            self.memory.allocate("staged_grads", staged_bytes)
-            self.ledger.record_h2d(staged_bytes)
+            values = self.store.stage(ids)
+            returned = False
             try:
-                compact_params = np.empty(
-                    (ids.size, layout.PARAM_DIM), dtype=self.host_non_geo.dtype
-                )
-                compact_params[:, layout.GEOMETRIC_SLICE] = self.device_geo[ids]
-                compact_params[:, layout.NON_GEOMETRIC_SLICE] = staged_vals
-                compact = GaussianModel(compact_params)
+                compact = GaussianModel(values)
                 gt_region = gt_image[:, x_offset : x_offset + region_cam.width]
                 weight = region_cam.num_pixels / total_px
                 grads, m2d, loss, l1, ssim = self._render_one(
                     compact, region_cam, gt_region, weight
                 )
-                self.ledger.record_d2h(staged_bytes)
+                returned = True
             finally:
-                self.memory.free("staged_params", staged_bytes)
-                self.memory.free("staged_grads", staged_bytes)
+                self.store.unstage(ids, returned=returned)
             outputs.append(
                 _RegionOutput(
                     ids=ids, grads=grads, mean2d_abs=m2d,
@@ -460,36 +340,25 @@ class GSScaleSystem(TrainingSystem):
             )
 
         # the lazy host commit of iteration N-1 (overlapped in real time)
-        self._commit_pending()
+        self.store.commit()
 
         if not outputs:
-            # nothing visible: host optimizer still ticks (counters advance)
-            empty = np.zeros((0, layout.NON_GEOMETRIC_DIM), self.host_non_geo.dtype)
-            if self.deferred:
-                self.host_optimizer.step(np.empty(0, dtype=np.int64), empty)
-            else:
-                self.host_optimizer.step_sparse(np.empty(0, dtype=np.int64), empty)
-            self.geo_optimizer.step_sparse(
+            # nothing visible: no image was rendered (ssim is undefined —
+            # NaN, not a fake 1.0), but every optimizer still ticks
+            self.store.return_grads(
                 np.empty(0, dtype=np.int64),
-                np.zeros((0, layout.GEOMETRIC_DIM), self.device_geo.dtype),
+                np.zeros((0, self.store.dim), dtype=self.store.dtype),
             )
             return StepReport(
-                iteration=self.iteration, loss=0.0, l1=0.0, ssim=1.0,
+                iteration=self.iteration, loss=0.0, l1=0.0,
+                ssim=float("nan"),
                 num_visible=0, num_regions=len(regions),
                 valid_ids=np.empty(0, dtype=np.int64),
                 mean2d_abs=np.empty(0),
             )
 
         agg = self._aggregate(outputs)
-
-        # geometric M.S.Q. update directly on the device (step 4, Figure 8)
-        self.geo_optimizer.step_sparse(
-            agg.ids, agg.grads[:, layout.GEOMETRIC_SLICE]
-        )
-        # non-geometric gradients return to the host and wait for the lazy
-        # commit at the start of the next iteration (step 7, Figure 8)
-        self._pending_ids = agg.ids
-        self._pending_grads = agg.grads[:, layout.NON_GEOMETRIC_SLICE]
+        self.store.return_grads(agg.ids, agg.grads)
 
         return StepReport(
             iteration=self.iteration,
@@ -502,39 +371,326 @@ class GSScaleSystem(TrainingSystem):
             mean2d_abs=agg.mean2d_abs,
         )
 
-    # -- state access ----------------------------------------------------------
-    def materialized_model(self) -> GaussianModel:
-        """Current parameters including pending gradients and deferred
-        drift (the values an immediate full commit would produce)."""
-        n = self._num_gaussians
-        params = np.empty((n, layout.PARAM_DIM), dtype=self.host_non_geo.dtype)
-        params[:, layout.GEOMETRIC_SLICE] = self.device_geo
-        if self._pending_ids is not None:
-            all_ids = np.arange(n)
-            pending_rows = np.zeros(
-                (n, layout.NON_GEOMETRIC_DIM), dtype=self.host_non_geo.dtype
+
+class GPUOnlySystem(TrainingSystem):
+    """Everything on the device; the paper's GPU-only reference."""
+
+    name = "gpu_only"
+
+    def _setup(self, model: GaussianModel) -> None:
+        self._num_gaussians = model.num_gaussians
+        self.store = DeviceStore(
+            model.params,
+            layout.ALL_BLOCK,
+            self.config.adam_config(self._lr),
+            self.memory,
+        )
+
+    # legacy surface (tests and schedules poke the raw arrays)
+    @property
+    def params(self) -> np.ndarray:
+        """Device-resident packed parameters."""
+        return self.store.params
+
+    @property
+    def optimizer(self):
+        """The dense device optimizer."""
+        return self.store.optimizer
+
+    def checkpoint_entries(self):
+        return [("", self.store, None)]
+
+
+class BaselineOffloadSystem(TrainingSystem):
+    """Baseline host offloading (Section 4.1, Figure 6): all parameters and
+    optimizer state on the host; full 59-parameter rows staged on demand
+    (Challenge 1: culling runs on the CPU over host-resident params);
+    dense Adam on the host CPU (Challenge 2)."""
+
+    name = "baseline_offload"
+
+    def _setup(self, model: GaussianModel) -> None:
+        self._num_gaussians = model.num_gaussians
+        self.store = HostStore(
+            model.params,
+            layout.ALL_BLOCK,
+            self.config.adam_config(self._lr),
+            self.memory,
+            self.ledger,
+        )
+
+    @property
+    def host_params(self) -> np.ndarray:
+        """Host-resident packed parameters."""
+        return self.store.params
+
+    @property
+    def optimizer(self):
+        """The dense host optimizer."""
+        return self.store.optimizer
+
+    def checkpoint_entries(self):
+        return [("", self.store, None)]
+
+
+class GSScaleSystem(TrainingSystem):
+    """GS-Scale with selective offloading, parameter forwarding, optional
+    deferred optimizer update, and balance-aware image splitting."""
+
+    name = "gsscale"
+    splits_images = True
+
+    def __init__(
+        self, model: GaussianModel, config: GSScaleConfig, deferred: bool = True
+    ):
+        self.deferred = deferred
+        super().__init__(model, config)
+        if not deferred:
+            self.name = "gsscale_no_deferred"
+
+    def _setup(self, model: GaussianModel) -> None:
+        self._num_gaussians = model.num_gaussians
+        cfg = self.config
+        # selective offloading: geometric block + its optimizer state live
+        # on the device (Section 4.2.1)
+        self._geo_store = DeviceStore(
+            model.geometric,
+            layout.GEOMETRIC_BLOCK,
+            cfg.adam_config(self._lr[layout.GEOMETRIC_SLICE]),
+            self.memory,
+            label="geo",
+        )
+        # the non-geometric block stays on the host behind the forwarding
+        # pipeline (peeked staging + lazy commits, Sections 4.2.2/4.3)
+        self._host_store = HostStore(
+            model.non_geometric,
+            layout.NON_GEOMETRIC_BLOCK,
+            cfg.adam_config(self._lr[layout.NON_GEOMETRIC_SLICE]),
+            self.memory,
+            self.ledger,
+            forwarding=True,
+            deferred=self.deferred,
+            max_defer=cfg.max_defer,
+        )
+        self.store = HybridStore([self._geo_store, self._host_store])
+
+    # legacy surface (checkpointing tests and splitting tests poke these)
+    @property
+    def device_geo(self) -> np.ndarray:
+        """Device-resident geometric block."""
+        return self._geo_store.params
+
+    @property
+    def geo_optimizer(self):
+        """Dense device optimizer of the geometric block."""
+        return self._geo_store.optimizer
+
+    @property
+    def host_non_geo(self) -> np.ndarray:
+        """Host-resident non-geometric block (last committed values)."""
+        return self._host_store.params
+
+    @property
+    def host_optimizer(self):
+        """Host optimizer (deferred or dense) of the non-geometric block."""
+        return self._host_store.optimizer
+
+    @property
+    def _pending_ids(self):
+        return self._host_store._pending_ids
+
+    @_pending_ids.setter
+    def _pending_ids(self, value):
+        self._host_store._pending_ids = value
+
+    @property
+    def _pending_grads(self):
+        return self._host_store._pending_grads
+
+    @_pending_grads.setter
+    def _pending_grads(self, value):
+        self._host_store._pending_grads = value
+
+    def checkpoint_entries(self):
+        return [("geo", self._geo_store, None), ("host", self._host_store, None)]
+
+
+class ShardedGSScaleSystem(TrainingSystem):
+    """GS-Scale over a spatial partition of the Gaussian set (K shards).
+
+    Each shard is a hybrid store (device geometric + forwarding host
+    non-geometric) with its own :class:`~repro.sim.memory.MemoryTracker`
+    (capped by ``shard_device_capacity_bytes``) and
+    :class:`TransferLedger`, both rolling up into the system-wide
+    aggregates — one simulated GPU per shard, as in Grendel's
+    Gaussian-sharded training and TideGS's out-of-core blocks.
+
+    Per view, every shard frustum-culls its own geometry (shards entirely
+    outside the frustum are skipped: no staging, no traffic); the visible
+    union renders jointly (the Grendel gather), gradients are aggregated
+    on the host and scattered back shard by shard. With
+    ``shard_workers > 1`` the per-shard culling fans out over a
+    ``multiprocessing`` pool (fork start method; falls back to serial
+    where unavailable). Training numerics are independent of K and of the
+    fan-out: with K=1 the system is exactly :class:`GSScaleSystem`.
+    """
+
+    name = "sharded"
+    splits_images = True
+
+    def _setup(self, model: GaussianModel) -> None:
+        self._num_gaussians = model.num_gaussians
+        cfg = self.config
+        self._pool = None
+        self.shard_rows = spatial_partition(model.means, cfg.num_shards)
+        self.shard_trackers: list[MemoryTracker] = []
+        self.shard_ledgers: list[TransferLedger] = []
+        shard_stores: list[ParameterStore] = []
+        for rows in self.shard_rows:
+            tracker = MemoryTracker(
+                capacity_bytes=cfg.shard_device_capacity_bytes,
+                parent=self.memory,
             )
-            pending_rows[self._pending_ids] = self._pending_grads
-            params[:, layout.NON_GEOMETRIC_SLICE] = (
-                self.host_optimizer.peek_updated(all_ids, pending_rows)
+            ledger = TransferLedger(parent=self.ledger)
+            sub = model.params[rows]
+            geo = DeviceStore(
+                sub[:, layout.GEOMETRIC_SLICE],
+                layout.GEOMETRIC_BLOCK,
+                cfg.adam_config(self._lr[layout.GEOMETRIC_SLICE]),
+                tracker,
+                label="geo",
             )
-        elif self.deferred:
-            params[:, layout.NON_GEOMETRIC_SLICE] = (
-                self.host_optimizer.materialized_params()
+            host = HostStore(
+                sub[:, layout.NON_GEOMETRIC_SLICE],
+                layout.NON_GEOMETRIC_BLOCK,
+                cfg.adam_config(self._lr[layout.NON_GEOMETRIC_SLICE]),
+                tracker,
+                ledger,
+                forwarding=True,
+                deferred=True,
+                max_defer=cfg.max_defer,
             )
+            shard_stores.append(HybridStore([geo, host]))
+            self.shard_trackers.append(tracker)
+            self.shard_ledgers.append(ledger)
+        self.store = ShardedStore(self.shard_rows, shard_stores)
+
+    # -- distributed culling ----------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (stores/devices)."""
+        return len(self.shard_rows)
+
+    def _shard_geometry(self, k: int):
+        return self.store.stores[k].geometry()
+
+    def _get_pool(self):
+        if self.config.shard_workers <= 1 or self.num_shards <= 1:
+            return None
+        if self._pool is None:
+            import multiprocessing as mp
+
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # platform without fork: stay serial
+                return None
+            self._pool = ctx.Pool(
+                processes=min(self.config.shard_workers, self.num_shards)
+            )
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _count_visible(self, camera: Camera) -> int:
+        # the split search probes ~12 cropped cameras per split view;
+        # counting is cheap, so it stays serial instead of re-shipping
+        # every shard's geometry through the pool per probe
+        return sum(
+            frustum_cull(*self._shard_geometry(k), camera).num_visible
+            for k in range(self.num_shards)
+        )
+
+    def _cull(self, camera: Camera) -> CullResult:
+        """Union of per-shard frustum culls, in global id order.
+
+        Culling is per-Gaussian, so the union over a partition equals the
+        unsharded cull bit-for-bit; each shard's pass is the work its own
+        device would do. The ``shard_workers`` fan-out ships each shard's
+        geometry per call (the geometric block mutates every step, so
+        workers cannot cache it); with image splitting off that is one
+        dispatch per step.
+        """
+        tasks = [self._shard_geometry(k) + (camera,) for k in range(self.num_shards)]
+        pool = self._get_pool()
+        if pool is not None:
+            results = pool.map(_cull_shard_task, tasks)
         else:
-            params[:, layout.NON_GEOMETRIC_SLICE] = self.host_non_geo
-        return GaussianModel(params)
+            results = [_cull_shard_task(t) for t in tasks]
+        parts = [
+            rows[local]
+            for rows, (local, _) in zip(self.shard_rows, results)
+            if local.size
+        ]
+        valid = (
+            np.sort(np.concatenate(parts))
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        return CullResult(
+            valid_ids=valid,
+            num_total=self._num_gaussians,
+            num_in_depth=int(sum(r[1] for r in results)),
+            num_visible=int(valid.size),
+        )
+
+    # -- reporting / lifecycle --------------------------------------------
+    def shard_reports(self) -> list[ShardReport]:
+        """Per-shard memory and traffic accounting."""
+        return [
+            ShardReport(
+                shard=k,
+                num_gaussians=int(rows.size),
+                peak_bytes=tracker.peak_bytes,
+                live_bytes=tracker.live_bytes,
+                h2d_bytes=ledger.h2d_bytes,
+                d2h_bytes=ledger.d2h_bytes,
+                h2d_count=ledger.h2d_count,
+                d2h_count=ledger.d2h_count,
+            )
+            for k, (rows, tracker, ledger) in enumerate(
+                zip(self.shard_rows, self.shard_trackers, self.shard_ledgers)
+            )
+        ]
 
     def finalize(self) -> None:
-        """Commit pending gradients and deferred drift."""
-        self._commit_pending()
-        if self.deferred:
-            self.host_optimizer.flush()
+        super().finalize()
+        self._close_pool()
+
+    def rebuild(self, model: GaussianModel) -> None:
+        self._close_pool()
+        super().rebuild(model)
+
+    def __del__(self):
+        try:
+            self._close_pool()
+        except Exception:
+            pass
+
+    def checkpoint_entries(self):
+        entries = []
+        for k, rows in enumerate(self.shard_rows):
+            hybrid = self.store.stores[k]
+            entries.append((f"shard{k}_geo", hybrid.children[0], rows))
+            entries.append((f"shard{k}_host", hybrid.children[1], rows))
+        return entries
 
 
 def create_system(model: GaussianModel, config: GSScaleConfig) -> TrainingSystem:
-    """Factory for the four Figure-11 systems."""
+    """Factory for the Figure-11 systems plus the sharded multi-device one."""
     if config.system == "gpu_only":
         return GPUOnlySystem(model, config)
     if config.system == "baseline_offload":
@@ -543,4 +699,6 @@ def create_system(model: GaussianModel, config: GSScaleConfig) -> TrainingSystem
         return GSScaleSystem(model, config, deferred=False)
     if config.system == "gsscale":
         return GSScaleSystem(model, config, deferred=True)
+    if config.system == "sharded":
+        return ShardedGSScaleSystem(model, config)
     raise ValueError(f"unknown system {config.system!r}")

@@ -70,6 +70,22 @@ class TrainingHistory:
         visible = np.array([s.num_visible for s in self.steps], dtype=float)
         return float(np.mean(visible)) / max(self._final_n, 1)
 
+    @property
+    def mean_ssim(self) -> float:
+        """Average per-step SSIM over the run.
+
+        Steps in which nothing was visible report ``ssim = nan`` (there
+        was no image) and are skipped here — averaging a fake 1.0 for
+        them would inflate the quality metric. NaN only when *every* step
+        was empty.
+        """
+        if not self.steps:
+            raise ValueError("no training steps recorded")
+        values = np.array([s.ssim for s in self.steps], dtype=float)
+        if np.all(np.isnan(values)):
+            return float("nan")
+        return float(np.nanmean(values))
+
     _final_n: int = 0
 
 

@@ -81,6 +81,70 @@ GEOMETRIC_ATTRIBUTES = ("mean", "scale", "quat")
 NON_GEOMETRIC_ATTRIBUTES = ("opacity", "sh")
 
 
+@dataclass(frozen=True)
+class ColumnBlock:
+    """A named, contiguous column range of the packed ``(N, 59)`` layout.
+
+    Parameter-placement stores (:mod:`repro.core.stores`) each own one
+    block: GS-Scale pins the ``geometric`` block on the device and offloads
+    the ``non_geometric`` block to the host. A block knows how to map
+    packed-layout column slices into its own local coordinates, so code
+    written against the packed layout (learning-rate vectors, the position
+    columns of the lr schedule, geometry access for culling) works on a
+    store that only holds its slice.
+    """
+
+    name: str
+    start: int
+    stop: int
+
+    @property
+    def sl(self) -> slice:
+        """Column slice of this block within the packed layout."""
+        return slice(self.start, self.stop)
+
+    @property
+    def dim(self) -> int:
+        """Number of columns in the block."""
+        return self.stop - self.start
+
+    def contains(self, packed: slice) -> bool:
+        """Whether a packed-layout column slice falls inside this block."""
+        return self.start <= packed.start and packed.stop <= self.stop
+
+    def local(self, packed: slice) -> slice:
+        """Map a packed-layout column slice into block-local columns.
+
+        Raises:
+            ValueError: if ``packed`` is not fully inside the block.
+        """
+        if not self.contains(packed):
+            raise ValueError(
+                f"slice [{packed.start}:{packed.stop}) outside block "
+                f"{self.name!r} [{self.start}:{self.stop})"
+            )
+        return slice(packed.start - self.start, packed.stop - self.start)
+
+
+ALL_BLOCK = ColumnBlock("all", 0, PARAM_DIM)
+GEOMETRIC_BLOCK = ColumnBlock("geometric", 0, GEOMETRIC_DIM)
+NON_GEOMETRIC_BLOCK = ColumnBlock("non_geometric", GEOMETRIC_DIM, PARAM_DIM)
+
+BLOCKS = (ALL_BLOCK, GEOMETRIC_BLOCK, NON_GEOMETRIC_BLOCK)
+
+
+def column_block(name: str) -> ColumnBlock:
+    """Return the :class:`ColumnBlock` for ``name``.
+
+    Raises:
+        KeyError: if ``name`` is not one of the named blocks.
+    """
+    for block in BLOCKS:
+        if block.name == name:
+            return block
+    raise KeyError(f"unknown column block: {name!r}")
+
+
 def attribute(name: str) -> AttributeSpec:
     """Return the :class:`AttributeSpec` for ``name``.
 

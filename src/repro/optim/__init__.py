@@ -1,7 +1,13 @@
 """Optimizers: dense Adam/SGD references and the deferred variants."""
 
 from .adam import DenseAdam
-from .base import AdamConfig, StepStats, adam_update, float_traffic_bytes
+from .base import (
+    AdamConfig,
+    SparseOptimizer,
+    StepStats,
+    adam_update,
+    float_traffic_bytes,
+)
 from .deferred import MAX_DEFER, DeferredAdam
 from .lr_schedule import DEFAULT_LRS, exponential_decay, packed_lr_vector
 from .sgd import DeferredSGD, DenseSGD, SGDConfig
@@ -15,6 +21,7 @@ __all__ = [
     "DenseSGD",
     "MAX_DEFER",
     "SGDConfig",
+    "SparseOptimizer",
     "StepStats",
     "adam_update",
     "exponential_decay",

@@ -76,6 +76,9 @@ class DenseAdam:
         dense[valid_ids] = grads_rows
         return self.step(dense)
 
+    # store-facing sparse-step surface (repro.optim.base.SparseOptimizer)
+    step_rows = step_sparse
+
     def peek_updated(
         self, ids: np.ndarray, grads_rows: np.ndarray
     ) -> np.ndarray:

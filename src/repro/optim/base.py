@@ -9,6 +9,7 @@ rates may be scalar or per-column — 3DGS uses different rates per attribute
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -64,6 +65,44 @@ class StepStats:
     def total_bytes(self) -> int:
         """All memory traffic of the step."""
         return self.float_bytes + self.counter_bytes
+
+
+@runtime_checkable
+class SparseOptimizer(Protocol):
+    """The store-facing optimizer surface.
+
+    A :class:`repro.core.stores.ParameterStore` drives its optimizer
+    exclusively through this protocol, so dense Adam (which scatters sparse
+    gradients and updates every row) and deferred Adam (which restores and
+    updates only the touched rows) are interchangeable behind a store.
+    """
+
+    params: np.ndarray
+    m: np.ndarray
+    v: np.ndarray
+    step_count: int
+
+    def step_rows(self, valid_ids: np.ndarray, grads_rows: np.ndarray) -> StepStats:
+        """Commit one step given only the nonzero gradient rows."""
+        ...
+
+    def peek_updated(
+        self, ids: np.ndarray, grads_rows: np.ndarray
+    ) -> np.ndarray:
+        """Values rows ``ids`` will hold after the next step (no mutation)."""
+        ...
+
+    def materialized_params(self, ids: np.ndarray | None = None) -> np.ndarray:
+        """Mathematically current parameter values."""
+        ...
+
+    def set_lr(self, lr_vec: np.ndarray) -> None:
+        """Update the per-column learning rates."""
+        ...
+
+    def rewrite_rows(self, ids: np.ndarray, params_rows: np.ndarray) -> None:
+        """Overwrite parameter rows and reset their optimizer state."""
+        ...
 
 
 #: Words of float traffic per updated element: read param/grad/m/v, write

@@ -202,6 +202,9 @@ class DeferredAdam:
             counter_bytes=2 * self.num_rows,  # one read + one write each
         )
 
+    # store-facing sparse-step surface (repro.optim.base.SparseOptimizer)
+    step_rows = step
+
     def peek_updated(self, ids: np.ndarray, grads_rows: np.ndarray) -> np.ndarray:
         """Values rows ``ids`` will hold after the next :meth:`step`.
 

@@ -14,6 +14,7 @@ from .memory import (
     gpu_only_breakdown,
     gsscale_breakdown,
     max_trainable_gaussians,
+    sharded_breakdown,
 )
 from .timeline import (
     SYSTEMS,
@@ -52,6 +53,7 @@ __all__ = [
     "max_trainable_gaussians",
     "peak_memory",
     "render_ascii",
+    "sharded_breakdown",
     "simulate_epoch",
     "simulate_iteration",
     "to_chrome_trace",

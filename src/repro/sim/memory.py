@@ -147,6 +147,30 @@ def gsscale_breakdown(
     )
 
 
+def sharded_breakdown(
+    num_gaussians: int,
+    num_pixels: int,
+    peak_active_ratio: float,
+    mem_limit: float = 0.3,
+    num_shards: int = 4,
+) -> MemoryBreakdown:
+    """Per-device breakdown of the Gaussian-sharded GS-Scale system.
+
+    Each of the ``num_shards`` devices holds a spatially balanced 1/K of
+    the scene under the GS-Scale placement (geometric block resident,
+    non-geometric staged) and rasterizes ~1/K of the pixels after the
+    Grendel-style gather, so the per-device footprint is a GS-Scale
+    breakdown of the shard.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    per_shard_n = -(-num_gaussians // num_shards)  # ceil: worst shard
+    per_shard_px = -(-num_pixels // num_shards)
+    return gsscale_breakdown(
+        per_shard_n, per_shard_px, peak_active_ratio, mem_limit
+    )
+
+
 def fits(breakdown: MemoryBreakdown, gpu: GPUSpec) -> bool:
     """Whether a workload trains without OOM on ``gpu`` (reserve-adjusted)."""
     budget = gpu.memory_bytes / ALLOCATOR_RESERVE_FACTOR - RUNTIME_OVERHEAD_BYTES
@@ -209,7 +233,9 @@ def host_state_bytes(num_gaussians: int, system: str) -> int:
         return 0
     if system == "baseline_offload":
         return layout.train_state_bytes(num_gaussians)
-    if system in ("gsscale", "gsscale_no_deferred"):
+    if system in ("gsscale", "gsscale_no_deferred", "sharded"):
+        # sharding moves device state across GPUs; the host-side
+        # non-geometric state (and its counters) is unchanged in total
         state = layout.train_state_bytes(num_gaussians, layout.NON_GEOMETRIC_DIM)
         counters = num_gaussians  # one byte each
         return state + counters
@@ -233,10 +259,21 @@ class MemoryTracker:
 
     Tracks live bytes per category and the high-water mark, mimicking
     ``torch.cuda.max_memory_allocated`` (the paper's measurement tool).
+
+    Trackers compose into device groups: a per-device tracker constructed
+    with a ``parent`` mirrors every allocate/free into the parent, so a
+    sharded multi-device system can enforce per-device capacities on the
+    children while the parent reports fleet-wide live/peak bytes (the
+    quantity the trainer records). Parents may nest arbitrarily deep.
     """
 
-    def __init__(self, capacity_bytes: int | None = None):
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        parent: "MemoryTracker | None" = None,
+    ):
         self.capacity_bytes = capacity_bytes
+        self.parent = parent
         self._live: dict[str, int] = {}
         self.peak_bytes = 0
 
@@ -246,17 +283,25 @@ class MemoryTracker:
         return sum(self._live.values())
 
     def allocate(self, category: str, num_bytes: int) -> None:
-        """Record an allocation; raises MemoryError past capacity."""
+        """Record an allocation; raises MemoryError past capacity.
+
+        A rejected allocation leaves every tracker in the chain unchanged:
+        capacity is checked before anything is recorded, and the parent is
+        charged (recursively, same rule) before this tracker commits, so a
+        raise at any level cannot desynchronize child and parent.
+        """
         if num_bytes < 0:
             raise ValueError("allocation size must be non-negative")
-        self._live[category] = self._live.get(category, 0) + num_bytes
-        total = self.live_bytes
+        total = self.live_bytes + num_bytes
         if self.capacity_bytes is not None and total > self.capacity_bytes:
             raise MemoryError(
                 f"device OOM: {total} bytes live > capacity "
                 f"{self.capacity_bytes} (allocating {num_bytes} for "
                 f"{category!r})"
             )
+        if self.parent is not None:
+            self.parent.allocate(category, num_bytes)
+        self._live[category] = self._live.get(category, 0) + num_bytes
         self.peak_bytes = max(self.peak_bytes, total)
 
     def free(self, category: str, num_bytes: int) -> None:
@@ -268,6 +313,8 @@ class MemoryTracker:
                 f"{have} live"
             )
         self._live[category] = have - num_bytes
+        if self.parent is not None:
+            self.parent.free(category, num_bytes)
 
     def live_by_category(self) -> dict[str, int]:
         """Snapshot of live bytes per category."""

@@ -31,6 +31,7 @@ from .memory import (
     fits_host,
     gpu_only_breakdown,
     gsscale_breakdown,
+    sharded_breakdown,
 )
 
 SYSTEMS = (
@@ -38,11 +39,32 @@ SYSTEMS = (
     "gsscale_no_deferred",
     "gsscale",
     "gpu_only",
+    "sharded",
 )
 
 #: Deferred-update saturation overhead: with a 4-bit counter, 1/15 of the
 #: inactive rows are force-updated per step on average (Section 4.3.2).
 SATURATION_FRACTION = 1.0 / 15.0
+
+#: Default device count of the modeled sharded system (Figure 11 entry).
+DEFAULT_NUM_SHARDS = 4
+
+#: Load imbalance of a spatially sharded render: median splits balance
+#: populations, not per-view visible work (Grendel reports ~10-20%).
+SHARD_IMBALANCE = 1.15
+
+#: Bytes exchanged per active Gaussian in the Grendel-style gather
+#: (projected splat record shipped between devices).
+SHARD_EXCHANGE_BYTES_PER_ACTIVE = 48.0
+
+#: Marginal parallel efficiency of running the K per-shard host commits on
+#: separate cores: the row sets are disjoint, but they share host DRAM
+#: bandwidth (the Section 5.7 NUMA observation), so each extra shard
+#: contributes only this fraction of a full worker.
+SHARD_HOST_PARALLEL_EFFICIENCY = 0.5
+
+#: Per-iteration cross-device synchronization overhead, seconds.
+SHARD_SYNC_OVERHEAD_S = 0.3e-3
 
 
 @dataclass(frozen=True)
@@ -90,6 +112,7 @@ def simulate_iteration(
     active_ratio: float,
     num_pixels: int,
     mem_limit: float = 0.3,
+    num_shards: int = DEFAULT_NUM_SHARDS,
 ) -> IterationSim:
     """Simulate one training iteration under ``system``."""
     n_active = int(n_total * active_ratio)
@@ -107,6 +130,10 @@ def simulate_iteration(
             num_pixels,
             deferred=(system == "gsscale"),
             splits=splits,
+        )
+    if system == "sharded":
+        return _sim_sharded(
+            cost, n_total, n_active, num_pixels, splits, num_shards
         )
     raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
 
@@ -239,6 +266,86 @@ def _sim_gsscale(
     )
 
 
+def _sim_sharded(
+    cost: CostModel,
+    n_total: int,
+    n_active: int,
+    num_pixels: int,
+    splits: int,
+    num_shards: int,
+) -> IterationSim:
+    """K-device Gaussian-sharded GS-Scale (Grendel-style schedule).
+
+    Each device runs the GS-Scale GPU leg over its ~1/K shard (with a
+    load-imbalance derate), the PCIe legs stage each shard's share in
+    parallel, and the host leg — aggregation across shards plus the
+    deferred commit — is unchanged in total work. One all-to-all exchange
+    of projected splat records per iteration joins the per-shard renders.
+    """
+    dim = layout.NON_GEOMETRIC_DIM
+    shard_total = -(-n_total // num_shards)
+    shard_active = int(-(-n_active // num_shards) * SHARD_IMBALANCE)
+    shard_px = -(-num_pixels // num_shards)
+
+    # per-device GPU leg over the shard
+    cull = cost.gpu_cull(shard_total) * splits
+    fwd_bwd = cost.forward_backward(shard_active, shard_px)
+    geo_update = cost.gpu_dense_update(shard_total, layout.GEOMETRIC_DIM)
+    gpu_leg = fwd_bwd + geo_update + cull
+
+    # host leg: forwarding peek + cross-shard aggregation + deferred
+    # commit; the per-shard commits cover disjoint rows and fan out over
+    # host cores with diminishing (bandwidth-bound) returns
+    peek = cost.cpu_forward_peek(n_active, dim)
+    n_updated = n_active + int((n_total - n_active) * SATURATION_FRACTION)
+    host_speedup = 1.0 + (num_shards - 1) * SHARD_HOST_PARALLEL_EFFICIENCY
+    update = cost.cpu_deferred_update(n_updated, n_total, dim) / host_speedup
+    cpu_leg = peek + update
+
+    # per-device PCIe leg (each shard stages its own share) plus the
+    # all-to-all exchange of projected splats for the gathered render
+    h2d = cost.h2d_params(shard_active, dim)
+    d2h = cost.d2h_grads(shard_active, dim) * splits
+    exchange = cost.transfer(n_active * SHARD_EXCHANGE_BYTES_PER_ACTIVE)
+    pcie_leg = h2d + d2h + exchange
+
+    split_overhead = (splits - 1) * ITERATION_OVERHEAD_S
+    sync = SHARD_SYNC_OVERHEAD_S if num_shards > 1 else 0.0
+    time = (
+        max(gpu_leg, cpu_leg, pcie_leg)
+        + ITERATION_OVERHEAD_S
+        + split_overhead
+        + sync
+    )
+    segments = [
+        Segment("CPU", "fwd-update", 0.0, peek),
+        Segment("PCIe", "H2D", peek * 0.2, peek * 0.2 + h2d),
+        Segment("PCIe", "exchange", peek * 0.2 + h2d,
+                peek * 0.2 + h2d + exchange),
+        Segment("GPU", "fwd-bwd", peek * 0.2 + h2d,
+                peek * 0.2 + h2d + fwd_bwd),
+        Segment("CPU", "aggregate+deferred-update", peek, peek + update),
+        Segment("GPU", "msq-update", peek * 0.2 + h2d + fwd_bwd,
+                peek * 0.2 + h2d + fwd_bwd + geo_update),
+        Segment("GPU", "cull", peek * 0.2 + h2d + fwd_bwd + geo_update,
+                peek * 0.2 + h2d + fwd_bwd + geo_update + cull),
+        Segment("PCIe", "D2H", peek * 0.2 + h2d + fwd_bwd,
+                peek * 0.2 + h2d + fwd_bwd + d2h),
+    ]
+    return IterationSim(
+        time=time,
+        breakdown={
+            "cull": cull,
+            "h2d": h2d + exchange,
+            "fwd_bwd": fwd_bwd,
+            "d2h": d2h,
+            "optimizer": peek + update,
+            "misc": ITERATION_OVERHEAD_S + split_overhead + sync,
+        },
+        segments=segments,
+    )
+
+
 @dataclass
 class EpochResult:
     """Simulated epoch of training on one platform/system/scene.
@@ -273,14 +380,23 @@ def peak_memory(
     num_pixels: int,
     peak_active_ratio: float,
     mem_limit: float = 0.3,
+    num_shards: int = DEFAULT_NUM_SHARDS,
 ):
-    """Memory breakdown at the epoch's worst view for ``system``."""
+    """Memory breakdown at the epoch's worst view for ``system``.
+
+    For ``sharded`` this is the *per-device* breakdown (the quantity each
+    of the K GPUs must fit).
+    """
     if system == "gpu_only":
         return gpu_only_breakdown(n_total, num_pixels)
     if system == "baseline_offload":
         return baseline_offload_breakdown(n_total, num_pixels, peak_active_ratio)
     if system in ("gsscale", "gsscale_no_deferred"):
         return gsscale_breakdown(n_total, num_pixels, peak_active_ratio, mem_limit)
+    if system == "sharded":
+        return sharded_breakdown(
+            n_total, num_pixels, peak_active_ratio, mem_limit, num_shards
+        )
     raise ValueError(f"unknown system {system!r}")
 
 
@@ -293,7 +409,7 @@ def simulate_epoch(
 ) -> EpochResult:
     """Run one epoch of ``trace`` through ``system`` on ``platform``."""
     n_total = trace.total_gaussians
-    if system in ("gsscale", "gsscale_no_deferred"):
+    if system in ("gsscale", "gsscale_no_deferred", "sharded"):
         # image splitting bounds the staged window by the worst *per-pass*
         # ratio across the epoch, not the worst raw view
         staged_peak = trace.clipped(mem_limit).peak_ratio

@@ -10,7 +10,6 @@ from repro.bench import (
     QualityModel,
     Table,
     TABLE3_QUALITY,
-    write_report,
 )
 
 

@@ -1,0 +1,326 @@
+"""Unit tests of the parameter-placement stores and the conservation
+invariants every system must uphold: ledger bytes match staged row counts,
+trackers return to baseline after each step, and the peak-memory ordering
+of the paper holds functionally."""
+
+import numpy as np
+import pytest
+
+from repro.core import GSScaleConfig, create_system
+from repro.core.stores import DeviceStore, HostStore, HybridStore, ShardedStore
+from repro.core.systems import TransferLedger
+from repro.datasets import SyntheticSceneConfig, build_scene
+from repro.gaussians import layout
+from repro.optim.base import AdamConfig, SparseOptimizer
+from repro.sim.memory import MemoryTracker
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene(
+        SyntheticSceneConfig(
+            num_points=180, width=30, height=20,
+            num_train_cameras=4, num_test_cameras=1,
+            altitude=9.0, seed=77,
+        )
+    )
+
+
+def _rows(n, dim, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, dim))
+
+
+class TestDeviceStore:
+    def make(self, n=20):
+        memory = MemoryTracker()
+        store = DeviceStore(
+            _rows(n, layout.GEOMETRIC_DIM),
+            layout.GEOMETRIC_BLOCK,
+            AdamConfig(lr=1e-2),
+            memory,
+            label="geo",
+        )
+        return store, memory
+
+    def test_resident_charges(self):
+        _store, memory = self.make(20)
+        state = layout.param_bytes(20, layout.GEOMETRIC_DIM)
+        live = memory.live_by_category()
+        assert live["geo_params"] == state
+        assert live["geo_grads"] == state
+        assert live["geo_opt_states"] == 2 * state
+
+    def test_stage_is_free_and_synchronous_update(self):
+        store, memory = self.make(10)
+        before = memory.live_bytes
+        ids = np.array([1, 3, 7])
+        vals = store.stage(ids)
+        np.testing.assert_array_equal(vals, store.params[ids])
+        assert memory.live_bytes == before  # device staging costs nothing
+        old = store.params[ids].copy()
+        store.return_grads(ids, np.ones((3, store.dim)))
+        store.unstage(ids)
+        assert not np.allclose(store.params[ids], old)  # applied immediately
+
+    def test_geometry_views(self):
+        store, _ = self.make(5)
+        means, log_scales, quats = store.geometry()
+        assert means.shape == (5, 3)
+        assert log_scales.shape == (5, 3)
+        assert quats.shape == (5, 4)
+        np.testing.assert_array_equal(means, store.params[:, 0:3])
+
+    def test_optimizer_satisfies_protocol(self):
+        store, _ = self.make(4)
+        assert isinstance(store.optimizer, SparseOptimizer)
+
+
+class TestHostStore:
+    def make(self, n=20, forwarding=False, deferred=False):
+        memory = MemoryTracker()
+        ledger = TransferLedger()
+        store = HostStore(
+            _rows(n, layout.NON_GEOMETRIC_DIM),
+            layout.NON_GEOMETRIC_BLOCK,
+            AdamConfig(lr=1e-2),
+            memory,
+            ledger,
+            forwarding=forwarding,
+            deferred=deferred,
+        )
+        return store, memory, ledger
+
+    def test_stage_charges_and_records(self):
+        store, memory, ledger = self.make(20)
+        ids = np.array([0, 5, 6, 19])
+        store.stage(ids)
+        staged = ids.size * store.dim * 4
+        assert memory.live_by_category()["staged_params"] == staged
+        assert memory.live_by_category()["staged_grads"] == staged
+        assert ledger.h2d_bytes == staged
+        store.unstage(ids)
+        assert ledger.d2h_bytes == staged
+        assert memory.live_bytes == 0
+
+    def test_unstage_without_return_skips_d2h(self):
+        store, memory, ledger = self.make(8)
+        ids = np.array([2, 4])
+        store.stage(ids)
+        store.unstage(ids, returned=False)
+        assert ledger.d2h_bytes == 0
+        assert memory.live_bytes == 0
+
+    def test_forwarding_pends_until_commit(self):
+        store, _, _ = self.make(10, forwarding=True)
+        ids = np.array([1, 2])
+        committed = store.params[ids].copy()
+        store.return_grads(ids, np.ones((2, store.dim)))
+        np.testing.assert_array_equal(store.params[ids], committed)
+        # staged values peek through the pending update
+        peeked = store.stage(ids)
+        store.unstage(ids)
+        assert not np.allclose(peeked, committed)
+        store.commit()
+        np.testing.assert_allclose(store.params[ids], peeked)
+
+    def test_materialize_includes_pending(self):
+        store, _, _ = self.make(10, forwarding=True, deferred=True)
+        ids = np.array([3, 4])
+        store.return_grads(ids, np.ones((2, store.dim)))
+        mid = store.materialize()
+        store.flush()
+        np.testing.assert_allclose(store.materialize(), mid)
+
+    def test_deferred_requires_forwarding(self):
+        with pytest.raises(ValueError):
+            self.make(4, forwarding=False, deferred=True)
+
+
+class TestHybridStore:
+    def make(self, n=12):
+        memory = MemoryTracker()
+        ledger = TransferLedger()
+        geo = DeviceStore(
+            _rows(n, layout.GEOMETRIC_DIM, seed=1),
+            layout.GEOMETRIC_BLOCK,
+            AdamConfig(lr=1e-2),
+            memory,
+            label="geo",
+        )
+        host = HostStore(
+            _rows(n, layout.NON_GEOMETRIC_DIM, seed=2),
+            layout.NON_GEOMETRIC_BLOCK,
+            AdamConfig(lr=1e-2),
+            memory,
+            ledger,
+            forwarding=True,
+            deferred=True,
+        )
+        return HybridStore([geo, host]), memory, ledger
+
+    def test_stage_assembles_packed_rows(self):
+        hybrid, _, _ = self.make(12)
+        ids = np.array([0, 4, 11])
+        rows = hybrid.stage(ids)
+        assert rows.shape == (3, layout.PARAM_DIM)
+        np.testing.assert_array_equal(
+            rows[:, layout.GEOMETRIC_SLICE], hybrid.children[0].params[ids]
+        )
+        hybrid.unstage(ids)
+
+    def test_return_grads_splits_columns(self):
+        hybrid, _, _ = self.make(12)
+        ids = np.array([2, 3])
+        grads = np.ones((2, layout.PARAM_DIM))
+        geo_before = hybrid.children[0].params[ids].copy()
+        hybrid.return_grads(ids, grads)
+        # device child applied immediately, host child pended
+        assert not np.allclose(hybrid.children[0].params[ids], geo_before)
+        assert hybrid.children[1]._pending_ids is not None
+
+    def test_materialize_shape_and_blocks(self):
+        hybrid, _, _ = self.make(7)
+        full = hybrid.materialize()
+        assert full.shape == (7, layout.PARAM_DIM)
+        np.testing.assert_array_equal(
+            full[:, layout.GEOMETRIC_SLICE], hybrid.children[0].params
+        )
+
+    def test_disjoint_blocks_enforced(self):
+        geo, _, _ = self.make(5)
+        with pytest.raises(ValueError):
+            HybridStore([geo.children[1], geo.children[0]])  # out of order
+
+
+class TestShardedStore:
+    def test_membership_and_roundtrip(self):
+        memory = MemoryTracker()  # aggregate parent of the per-shard trackers
+        rows = [np.array([0, 2, 4]), np.array([1, 3])]
+        stores = [
+            DeviceStore(
+                _rows(r.size, layout.PARAM_DIM, seed=k),
+                layout.ALL_BLOCK,
+                AdamConfig(lr=1e-2),
+                MemoryTracker(parent=memory),
+            )
+            for k, r in enumerate(rows)
+        ]
+        sharded = ShardedStore(rows, stores)
+        assert sharded.num_rows == 5
+        ids = np.array([1, 2, 4])
+        staged = sharded.stage(ids)
+        np.testing.assert_array_equal(staged[0], stores[1].params[0])  # id 1
+        np.testing.assert_array_equal(staged[1], stores[0].params[1])  # id 2
+        full = sharded.materialize()
+        np.testing.assert_array_equal(full[[0, 2, 4]], stores[0].params)
+        np.testing.assert_array_equal(full[[1, 3]], stores[1].params)
+
+
+def run_steps(scene, system, steps=3, **cfg):
+    defaults = dict(
+        system=system, scene_extent=scene.extent, ssim_lambda=0.0,
+        mem_limit=1.0, seed=0,
+    )
+    defaults.update(cfg)
+    s = create_system(scene.initial.copy(), GSScaleConfig(**defaults))
+    reports = []
+    for i in range(steps):
+        reports.append(
+            s.step(scene.train_cameras[i % len(scene.train_cameras)],
+                   scene.train_images[i % len(scene.train_images)])
+        )
+    return s, reports
+
+
+ALL_SYSTEMS = ("gpu_only", "baseline_offload", "gsscale_no_deferred",
+               "gsscale", "sharded")
+
+#: staged columns per system (what one staged row costs on the PCIe bus)
+STAGED_DIMS = {
+    "gpu_only": 0,
+    "baseline_offload": layout.PARAM_DIM,
+    "gsscale_no_deferred": layout.NON_GEOMETRIC_DIM,
+    "gsscale": layout.NON_GEOMETRIC_DIM,
+    "sharded": layout.NON_GEOMETRIC_DIM,
+}
+
+
+class TestConservationInvariants:
+    """System-level invariants the store layer must conserve."""
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_ledger_bytes_match_staged_rows(self, scene, system):
+        """Per-step H2D and D2H bytes equal staged-row count times the
+        system's staged column width — no traffic invented or lost."""
+        s, reports = run_steps(scene, system, steps=4)
+        staged_rows = sum(r.num_visible for r in reports)
+        expected = staged_rows * STAGED_DIMS[system] * 4
+        assert s.ledger.h2d_bytes == expected
+        assert s.ledger.d2h_bytes == expected
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_tracker_returns_to_baseline_each_step(self, scene, system):
+        """Staging windows and activations are transient: live bytes after
+        every step equal the resident footprint right after setup."""
+        defaults = dict(
+            system=system, scene_extent=scene.extent, ssim_lambda=0.0,
+            mem_limit=1.0, seed=0,
+        )
+        s = create_system(scene.initial.copy(), GSScaleConfig(**defaults))
+        baseline = s.memory.live_bytes
+        for i in range(3):
+            s.step(scene.train_cameras[i % len(scene.train_cameras)],
+                   scene.train_images[i % len(scene.train_images)])
+            assert s.memory.live_bytes == baseline
+            for cat, live in s.memory.live_by_category().items():
+                if cat in ("staged_params", "staged_grads", "activations"):
+                    assert live == 0, cat
+
+    def test_peak_memory_ordering(self, scene):
+        """At fixed scene size: gpu_only > gsscale > baseline_offload
+        (full residency > 17% residency + staged window > staged-only)."""
+        peaks = {
+            system: run_steps(scene, system, steps=2)[0].memory.peak_bytes
+            for system in ("gpu_only", "gsscale", "baseline_offload")
+        }
+        assert peaks["gpu_only"] > peaks["gsscale"] > peaks["baseline_offload"]
+
+    def test_sharded_ledgers_roll_up_exactly(self, scene):
+        """Per-shard ledgers partition the aggregate ledger."""
+        s, _ = run_steps(scene, "sharded", steps=3, num_shards=3)
+        reports = s.shard_reports()
+        assert sum(r.h2d_bytes for r in reports) == s.ledger.h2d_bytes
+        assert sum(r.d2h_bytes for r in reports) == s.ledger.d2h_bytes
+        assert sum(r.h2d_count for r in reports) == s.ledger.h2d_count
+
+    def test_failed_staging_leaves_nothing_charged(self, scene):
+        """An OOM partway through staging (some shards already charged)
+        unwinds completely: live bytes return to the resident baseline,
+        so an OOM-probing caller can keep using the system."""
+        probe, _ = run_steps(scene, "sharded", steps=1, num_shards=2)
+        worst = max(t.peak_bytes for t in probe.shard_trackers)
+        s = create_system(
+            scene.initial.copy(),
+            GSScaleConfig(
+                system="sharded", num_shards=2, scene_extent=scene.extent,
+                ssim_lambda=0.0, mem_limit=1.0, seed=0,
+                shard_device_capacity_bytes=worst // 2,
+            ),
+        )
+        baseline = s.memory.live_bytes
+        with pytest.raises(MemoryError):
+            s.step(scene.train_cameras[0], scene.train_images[0])
+        assert s.memory.live_bytes == baseline
+        for tracker in s.shard_trackers:
+            for cat in ("staged_params", "staged_grads"):
+                assert tracker.live_by_category().get(cat, 0) == 0
+
+    def test_sharded_trackers_roll_up(self, scene):
+        """Per-shard live bytes sum into the aggregate tracker (which also
+        carries the shared activations)."""
+        s, _ = run_steps(scene, "sharded", steps=2, num_shards=3)
+        shard_live = sum(t.live_bytes for t in s.shard_trackers)
+        assert s.memory.live_bytes == shard_live  # activations freed
+        assert s.memory.peak_bytes >= max(
+            t.peak_bytes for t in s.shard_trackers
+        )

@@ -129,6 +129,33 @@ class TestDeferredEquivalence:
         assert abs(pa - pb) < 0.05
 
 
+class TestShardedEquivalence:
+    def test_sharded_k1_matches_gsscale(self, scene):
+        """A single shard is exactly GS-Scale: the sharded store layering
+        adds no numerics of its own (acceptance bound atol<=1e-9; holds
+        far tighter)."""
+        a = run_system(scene, "gsscale", steps=10)
+        b = run_system(scene, "sharded", steps=10, num_shards=1)
+        np.testing.assert_allclose(
+            a.materialized_model().params,
+            b.materialized_model().params,
+            rtol=0,
+            atol=1e-12,
+        )
+
+    def test_sharded_k4_matches_gsscale(self, scene):
+        """Spatial sharding is a pure re-indexing (Adam is row-independent,
+        culling per-Gaussian): K=4 equals K=1."""
+        a = run_system(scene, "gsscale", steps=10)
+        b = run_system(scene, "sharded", steps=10, num_shards=4)
+        np.testing.assert_allclose(
+            a.materialized_model().params,
+            b.materialized_model().params,
+            rtol=0,
+            atol=1e-12,
+        )
+
+
 class TestForwardingPipeline:
     def test_pending_commit_consistency(self, scene):
         """materialized_model() mid-training (with a pending gradient)

@@ -136,6 +136,52 @@ class TestDensificationIntegration:
         assert hist.h2d_bytes > steps_after_last_rebuild * min_bytes / 9
 
 
+class TestEmptyStepSSIM:
+    """Regression: an empty-visibility step must not report ssim=1.0 —
+    that inflated averaged quality metrics. It reports NaN, and the
+    history aggregation skips it."""
+
+    def away_camera(self, scene):
+        from repro.cameras.camera import Camera
+
+        # looking straight away from the scene: nothing in the frustum
+        return Camera.look_at(
+            position=(0.0, 0.0, 1000.0), target=(0.0, 0.0, 2000.0),
+            width=scene.train_cameras[0].width,
+            height=scene.train_cameras[0].height,
+        )
+
+    @pytest.mark.parametrize("system", ["gsscale", "sharded"])
+    def test_empty_step_reports_nan_ssim(self, scene, system):
+        from repro.core import GSScaleConfig, create_system
+
+        cfg = GSScaleConfig(system=system, scene_extent=scene.extent,
+                            ssim_lambda=0.2, mem_limit=1.0, seed=0)
+        s = create_system(scene.initial.copy(), cfg)
+        cam = self.away_camera(scene)
+        report = s.step(cam, np.zeros((cam.height, cam.width, 3)))
+        assert report.num_visible == 0
+        assert np.isnan(report.ssim)
+        assert report.loss == 0.0
+
+    def test_history_mean_ssim_skips_empty_steps(self, scene):
+        trainer = make_trainer(scene, ssim_lambda=0.2)
+        cam = self.away_camera(scene)
+        cameras = list(scene.train_cameras) + [cam]
+        images = list(scene.train_images) + [
+            np.zeros((cam.height, cam.width, 3))
+        ]
+        hist = trainer.train(cameras, images, iterations=len(cameras))
+        ssims = np.array([s.ssim for s in hist.steps])
+        assert np.isnan(ssims).sum() == 1
+        assert np.isfinite(hist.mean_ssim)
+        assert hist.mean_ssim == pytest.approx(
+            float(np.mean(ssims[~np.isnan(ssims)]))
+        )
+        # the fake-1.0 bug would have pulled the average up
+        assert hist.mean_ssim < 1.0
+
+
 class TestEvaluate:
     def test_eval_result_fields(self, scene):
         trainer = make_trainer(scene)

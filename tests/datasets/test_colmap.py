@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cameras import Camera, trajectories
+from repro.cameras import trajectories
 from repro.datasets.colmap import (
     ColmapScene,
     load_colmap,

@@ -1,7 +1,6 @@
 """Tests for the densification controller."""
 
 import numpy as np
-import pytest
 
 from repro.densify import DensificationController, DensifyConfig
 from repro.gaussians import GaussianModel, layout

@@ -1,6 +1,5 @@
 """Tests for device models and the GPU memory model."""
 
-import numpy as np
 import pytest
 
 from repro.gaussians import layout

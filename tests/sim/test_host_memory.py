@@ -1,6 +1,5 @@
 """Tests for host-DRAM capacity modeling (the offloading's other wall)."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import get_scene, synthesize_trace

@@ -1,7 +1,6 @@
 """Tests for the cost model and timeline simulator, including the
 paper-anchor calibration bands that every figure bench depends on."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import all_scenes, get_scene, synthesize_trace

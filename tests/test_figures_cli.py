@@ -1,6 +1,5 @@
 """Smoke tests for the figure-regeneration CLI (python -m repro.figures)."""
 
-import pytest
 
 from repro import figures
 
