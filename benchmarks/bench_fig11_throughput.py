@@ -34,17 +34,22 @@ def run_platform(platform_key: str):
     t = Table(
         title=f"Figure 11 — Normalized Training Throughput ({plat.gpu.name})",
         columns=["Scene", "Baseline", "w/o Deferred", "GS-Scale (all)",
-                 "GPU-Only", "Sharded (K=4)"],
+                 "GPU-Only", "Sharded (K=4)", "OoC (K=4,R=1)"],
         notes=["Throughput normalized to baseline GS-Scale; 'OOM' marks "
-               "configurations that exceed GPU memory.",
+               "configurations that exceed GPU *or host* memory, '-' rows "
+               "where only the baseline OOMs (no normalizer).",
                "Full-scale configs use each platform's feasible maximum "
                "(the paper scales scenes per platform via densification "
                "settings); Aerial cannot be downsized.",
                "Sharded = Gaussian-sharded GS-Scale across 4 devices "
-               "(Grendel-style gather; per-device memory in Figure 12)."],
+               "(Grendel-style gather; per-device memory in Figure 12).",
+               "OoC = out-of-core sharded: only 1 of 4 shards' host state "
+               "resident, the rest paged through disk — trades throughput "
+               "for a ~4x lower host-DRAM floor."],
     )
     stats = {"gs_vs_gpu": [], "speedup_full": [], "speedup_wo": [],
-             "sharded_vs_gs": []}
+             "sharded_vs_gs": [], "ooc_slowdown": [],
+             "ooc_trains": [], "sharded_trains": []}
     variants = []
     for spec in all_scenes():
         if spec.small_total_gaussians is not None:
@@ -62,7 +67,7 @@ def run_platform(platform_key: str):
         base = results["baseline_offload"]
         row = [label]
         for system in ("baseline_offload", "gsscale_no_deferred", "gsscale",
-                       "gpu_only", "sharded"):
+                       "gpu_only", "sharded", "outofcore"):
             r = results[system]
             if r.oom:
                 row.append("OOM")
@@ -71,6 +76,12 @@ def run_platform(platform_key: str):
             else:
                 row.append(round(base.seconds / r.seconds, 2))
         t.add_row(*row)
+        stats["ooc_trains"].append((label, not results["outofcore"].oom))
+        stats["sharded_trains"].append((label, not results["sharded"].oom))
+        if not results["sharded"].oom and not results["outofcore"].oom:
+            stats["ooc_slowdown"].append(
+                results["outofcore"].seconds / results["sharded"].seconds
+            )
         if not base.oom and not results["gsscale"].oom:
             if not results["gpu_only"].oom:
                 stats["gs_vs_gpu"].append(
@@ -136,3 +147,19 @@ def test_fig11_throughput(benchmark):
     aerial = next(r for r in desktop_table.rows if r[0] == "Aerial")
     assert aerial[3] != "OOM"
     assert aerial[4] == "OOM"  # but not GPU-only
+
+    # out-of-core placement: paging shard state through disk costs
+    # throughput wherever the in-memory sharded system also trains ...
+    for stats in (laptop_stats, desktop_stats):
+        assert all(s >= 1.0 for s in stats["ooc_slowdown"])
+        assert 1.5 <= geomean(stats["ooc_slowdown"]) <= 8.0
+    # ... but buys capability: laptop Aerial host-OOMs every in-memory
+    # system (42 GB of host state vs 32 GB DRAM) and trains only with the
+    # out-of-core tier's resident-set host floor
+    ooc = dict(laptop_stats["ooc_trains"])
+    sharded_ok = dict(laptop_stats["sharded_trains"])
+    assert ooc["Aerial"] and not sharded_ok["Aerial"]
+    laptop_aerial_row = next(r for r in full_rows if r[0] == "Aerial")
+    assert laptop_aerial_row[6] == "-"  # trains; baseline OOMs, so no norm
+    # out-of-core never trains less than the in-memory sharded system
+    assert all(ooc[k] for k, ok in laptop_stats["sharded_trains"] if ok)

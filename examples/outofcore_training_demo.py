@@ -1,0 +1,109 @@
+"""Out-of-core GS-Scale: train with most of the host state on disk.
+
+Builds on the sharded multi-device system (see
+examples/sharded_training_demo.py): the scene is spatially partitioned
+into K shards, but each shard's non-geometric parameters and Adam moments
+now live in memory-mapped spill files, and only ``resident_shards`` of
+them are paged into host DRAM at once. Each view prefetches its active
+shards and spills the rest; spilled shards tick their deferred optimizer
+as pure metadata, so an untouched shard pages in at most once per
+``max_defer`` steps. Training numerics are bit-identical to the in-memory
+sharded run — out-of-core placement changes accounting, never math — while
+the tracked host working set drops to the resident-set budget.
+
+Run:  python examples/outofcore_training_demo.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.core import GSScaleConfig, create_system
+from repro.datasets import SyntheticSceneConfig, build_scene
+from repro.gaussians import layout
+
+ITERATIONS = int(os.environ.get("DEMO_ITERATIONS", 24))
+NUM_SHARDS = 4
+RESIDENT_SHARDS = 1
+
+
+def train(scene, system, **cfg_kwargs):
+    config = GSScaleConfig(
+        system=system,
+        scene_extent=scene.extent,
+        ssim_lambda=0.2,
+        seed=0,
+        **cfg_kwargs,
+    )
+    engine = create_system(scene.initial.copy(), config)
+    for i in range(ITERATIONS):
+        view = i % len(scene.train_cameras)
+        engine.step(scene.train_cameras[view], scene.train_images[view])
+    engine.finalize()
+    return engine
+
+
+def main():
+    print("Building synthetic aerial capture ...")
+    scene = build_scene(
+        SyntheticSceneConfig(
+            name="outofcore-demo",
+            num_points=400,
+            width=48,
+            height=36,
+            num_train_cameras=8,
+            num_test_cameras=2,
+            altitude=8.0,
+            seed=21,
+        )
+    )
+    print(f"  {scene.initial.num_gaussians} Gaussians, "
+          f"{len(scene.train_cameras)} train views")
+
+    print(f"\nTraining in-memory sharded (K={NUM_SHARDS}) and out-of-core "
+          f"(K={NUM_SHARDS}, resident={RESIDENT_SHARDS}) ...")
+    sharded = train(scene, "sharded", num_shards=NUM_SHARDS)
+    ooc = train(scene, "outofcore", num_shards=NUM_SHARDS,
+                resident_shards=RESIDENT_SHARDS)
+
+    drift = np.max(np.abs(
+        sharded.materialized_model().params
+        - ooc.materialized_model().params
+    ))
+    print(f"  max parameter drift vs in-memory sharded: {drift:.2e} "
+          "(spilling changes placement, not math)")
+
+    n = ooc.num_gaussians
+    full_host = 3 * layout.param_bytes(n, layout.NON_GEOMETRIC_DIM) + n
+    print(f"\nHost working set after {ITERATIONS} iterations:")
+    print(f"  in-memory non-geo state (params+m+v+counters): "
+          f"{full_host / 1e6:.3f} MB")
+    print(f"  out-of-core peak tracked host bytes:           "
+          f"{ooc.host_memory.peak_bytes / 1e6:.3f} MB "
+          f"({ooc.host_memory.peak_bytes / full_host:.0%} — the resident "
+          "budget plus 1 counter byte per Gaussian)")
+
+    print("\nPer-shard page traffic (disk channel of the ledger):")
+    print("  shard  gaussians  resident  page-in MB  page-out MB")
+    for r in ooc.shard_reports():
+        resident = ooc._nongeo_store(r.shard).is_resident
+        print(
+            f"  {r.shard:>5}  {r.num_gaussians:>9}  {str(resident):>8}  "
+            f"{r.page_in_bytes / 1e6:>10.3f}  {r.page_out_bytes / 1e6:>11.3f}"
+        )
+    print(
+        f"  total: {ooc.ledger.page_in_bytes / 1e6:.3f} MB in / "
+        f"{ooc.ledger.page_out_bytes / 1e6:.3f} MB out over "
+        f"{ooc.ledger.page_in_count} page-ins / "
+        f"{ooc.ledger.page_out_count} page-outs"
+    )
+    print(
+        "PCIe traffic is conserved: "
+        f"{ooc.ledger.h2d_bytes == sharded.ledger.h2d_bytes} "
+        f"({ooc.ledger.h2d_bytes / 1e6:.3f} MB H2D) — the disk tier sits "
+        "behind the host, invisible to the device."
+    )
+
+
+if __name__ == "__main__":
+    main()

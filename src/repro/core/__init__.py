@@ -9,15 +9,18 @@ from .splitting import (
 )
 from .stores import (
     DeviceStore,
+    DiskStore,
     HostStore,
     HybridStore,
     ParameterStore,
+    ResidentSet,
     ShardedStore,
 )
 from .systems import (
     BaselineOffloadSystem,
     GPUOnlySystem,
     GSScaleSystem,
+    OutOfCoreGSScaleSystem,
     ShardedGSScaleSystem,
     ShardReport,
     StepReport,
@@ -30,6 +33,7 @@ from .trainer import EvalResult, Trainer, TrainingHistory
 __all__ = [
     "BaselineOffloadSystem",
     "DeviceStore",
+    "DiskStore",
     "EvalResult",
     "GPUOnlySystem",
     "GSScaleConfig",
@@ -37,7 +41,9 @@ __all__ = [
     "HostStore",
     "HybridStore",
     "ImageSplit",
+    "OutOfCoreGSScaleSystem",
     "ParameterStore",
+    "ResidentSet",
     "SYSTEM_NAMES",
     "ShardReport",
     "ShardedGSScaleSystem",

@@ -7,6 +7,13 @@ and the step counter — plus each store's column block and (for sharded
 systems) its global row ids, so a packed model can be reassembled without
 knowing the system's placement. Enough to resume training bit-exactly for
 the dense systems and within the deferred approximation otherwise.
+
+Out-of-core systems checkpoint without full materialization: ``finalize``
+settles each shard one at a time under the resident-set budget, a spilled
+:class:`~repro.core.stores.DiskStore` hands out its memory-mapped arrays
+directly (so serialization streams from the spill files), and loading a
+checkpoint into a spilled store writes straight back into the memmaps —
+the resident working set never exceeds the budget on either path.
 """
 
 from __future__ import annotations
@@ -27,7 +34,9 @@ def save_checkpoint(path: str, system: TrainingSystem) -> None:
     """Serialize ``system`` to an ``.npz`` checkpoint.
 
     Pending forwarded gradients and deferred drift are committed first
-    (the checkpoint always holds a consistent, committed state).
+    (the checkpoint always holds a consistent, committed state). Spilled
+    stores contribute their memmap views, so the host working set stays
+    within the system's resident-set budget while writing.
     """
     system.finalize()
     arrays: dict[str, np.ndarray] = {

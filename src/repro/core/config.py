@@ -13,13 +13,15 @@ from ..render.rasterize import RasterConfig
 from ..train.loss import DEFAULT_SSIM_LAMBDA
 
 #: The paper's system variants (Figure 11's four bars) plus the sharded
-#: multi-device extension (Grendel-style Gaussian sharding over K stores).
+#: multi-device extension (Grendel-style Gaussian sharding over K stores)
+#: and its out-of-core placement tier (TideGS-style disk spill/prefetch).
 SYSTEM_NAMES = (
     "gpu_only",
     "baseline_offload",
     "gsscale_no_deferred",
     "gsscale",
     "sharded",
+    "outofcore",
 )
 
 
@@ -55,6 +57,13 @@ class GSScaleConfig:
             over a multiprocessing pool of this size; 0/1 stays serial.
         shard_device_capacity_bytes: optional per-shard device capacity
             (each shard's MemoryTracker raises MemoryError past it).
+        spill_dir: directory of the ``outofcore`` system's memory-mapped
+            spill files; ``None`` uses a temporary directory that dies
+            with the system (a caller-provided directory is never
+            deleted).
+        resident_shards: how many shards' non-geometric host state the
+            ``outofcore`` system keeps paged into host DRAM at once (the
+            resident-set budget; the rest lives in the spill files).
         raster: rasterizer thresholds and backend selection.
         engine: one-shot convenience override for ``raster.engine`` — one
             of :data:`repro.render.rasterize.ENGINES` (``"reference"``,
@@ -84,6 +93,8 @@ class GSScaleConfig:
     num_shards: int = 4
     shard_workers: int = 0
     shard_device_capacity_bytes: int | None = None
+    spill_dir: str | None = None
+    resident_shards: int = 1
     raster: RasterConfig = field(default_factory=RasterConfig)
     engine: str | None = None
     background: np.ndarray | None = None
@@ -100,6 +111,8 @@ class GSScaleConfig:
             raise ValueError("num_shards must be >= 1")
         if self.shard_workers < 0:
             raise ValueError("shard_workers must be >= 0")
+        if self.resident_shards < 1:
+            raise ValueError("resident_shards must be >= 1")
         if self.engine is not None:
             if self.engine != self.raster.engine:
                 # replace() re-runs RasterConfig validation on the name

@@ -22,7 +22,7 @@ A training step drives a store through four explicit operations::
     store.return_grads(ids, grads)   # hand this step's gradients over
 
 plus ``materialize()`` for the mathematically current values and ``flush()``
-to settle all lazy state. The three placements:
+to settle all lazy state. The four placements:
 
 * :class:`DeviceStore` — rows resident on the device; gradients applied
   immediately; no PCIe traffic (the GPU-only system, and the geometric
@@ -32,6 +32,11 @@ to settle all lazy state. The three placements:
   values are optimizer peeks of the not-yet-committed update and gradients
   wait for the next ``commit()`` (Sections 4.2.2/4.3.3), otherwise the
   optimizer steps synchronously (the Section 4.1 baseline).
+* :class:`DiskStore` — the out-of-core tier below :class:`HostStore`:
+  parameters and optimizer moments live in memory-mapped spill files and
+  only *paged-in* stores charge host DRAM; page traffic is metered on the
+  ledger's disk channel and concurrent residency is bounded by a
+  :class:`ResidentSet` (TideGS-style out-of-core blocks).
 * :class:`HybridStore` — composition of child stores over disjoint column
   blocks presenting one packed surface (GS-Scale's device-geometric +
   host-non-geometric split; also each shard of the sharded system).
@@ -39,6 +44,7 @@ to settle all lazy state. The three placements:
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -48,6 +54,7 @@ from ..gaussians.layout import ColumnBlock
 from ..optim.adam import DenseAdam
 from ..optim.base import AdamConfig, SparseOptimizer
 from ..optim.deferred import DeferredAdam
+from ..sim.memory import MemoryTracker
 
 _F32 = 4  # accounting is in float32-equivalent bytes
 
@@ -389,6 +396,267 @@ class HostStore(ParameterStore):
         _load_leaf_state(self.optimizer, state)
 
 
+class ResidentSet:
+    """LRU residency manager bounding concurrent :class:`DiskStore` page-ins.
+
+    At most ``budget`` stores are paged in at once; admitting one more
+    spills the least-recently-used resident store first, so the tracked
+    host working set never exceeds the resident-set budget regardless of
+    how many shards the out-of-core system ticks per step.
+    """
+
+    def __init__(self, budget: int):
+        if budget < 1:
+            raise ValueError("resident-set budget must be >= 1")
+        self.budget = budget
+        self._stores: list["DiskStore"] = []  # LRU order: oldest first
+
+    @property
+    def resident(self) -> tuple["DiskStore", ...]:
+        """Currently paged-in stores, least recently used first."""
+        return tuple(self._stores)
+
+    def touch(self, store: "DiskStore") -> None:
+        """Mark ``store`` most recently used."""
+        if store in self._stores:
+            self._stores.remove(store)
+            self._stores.append(store)
+
+    def admit(self, store: "DiskStore") -> None:
+        """Make room for ``store`` (spilling LRU stores) and register it."""
+        while len(self._stores) >= self.budget:
+            self._stores[0].spill()  # spill() drops it from the set
+        self._stores.append(store)
+
+    def drop(self, store: "DiskStore") -> None:
+        """Forget ``store`` (it spilled itself)."""
+        if store in self._stores:
+            self._stores.remove(store)
+
+
+class DiskStore(HostStore):
+    """Out-of-core host rows: state spills to memory-mapped files.
+
+    Behaves exactly like a :class:`HostStore` while *resident* (paged in);
+    :meth:`spill` writes parameters and both Adam moments to float files
+    under ``spill_path`` and releases the in-memory arrays, so a spilled
+    store charges nothing to the host tracker. Page-ins/outs are metered on
+    the transfer ledger's disk channel (``record_page_in`` /
+    ``record_page_out``). Placement never changes numerics: a
+    spill/page-in roundtrip is bit-exact, and every operation that needs
+    the arrays pages in on demand (admitting through the optional
+    :class:`ResidentSet`, which bounds concurrent residency).
+
+    Three pieces of state never spill, keeping a spilled store cheap to
+    drive once per step:
+
+    * the deferred counters (1 byte/row, charged to the host tracker at
+      construction) — so an empty ``commit()`` tick with no saturated row
+      is metadata-only and touches no spilled array (this is the paper's
+      deferred update making out-of-core placement affordable: an
+      inactive shard pages in only every ``max_defer`` steps);
+    * pending forwarded gradients (transient, at most one step's batch);
+    * a stashed learning-rate vector, applied at the next page-in.
+
+    Args:
+        params_block: ``(N, dim)`` rows of the owned block (copied).
+        block: the packed columns the rows correspond to.
+        adam: optimizer hyperparameters with the block's lr slice.
+        memory: *device* tracker charged for staging windows (as HostStore).
+        ledger: transfer ledger for staging and page traffic.
+        spill_path: filename prefix of the memory-mapped spill files.
+        host_memory: *host* tracker charged for the resident working set
+            (fresh untracked one when omitted).
+        resident_set: optional shared residency budget.
+        forwarding / deferred / max_defer: as :class:`HostStore`.
+    """
+
+    def __init__(
+        self,
+        params_block: np.ndarray,
+        block: ColumnBlock,
+        adam: AdamConfig,
+        memory,
+        ledger,
+        spill_path: str,
+        host_memory: MemoryTracker | None = None,
+        resident_set: ResidentSet | None = None,
+        forwarding: bool = False,
+        deferred: bool = False,
+        max_defer: int = 15,
+    ):
+        super().__init__(
+            params_block, block, adam, memory, ledger,
+            forwarding=forwarding, deferred=deferred, max_defer=max_defer,
+        )
+        self._n, self._d = self.params.shape
+        self.spill_path = spill_path
+        self.host_memory = host_memory if host_memory is not None else MemoryTracker()
+        self.resident_set = resident_set
+        self._stashed_lr: np.ndarray | None = None
+        parent = os.path.dirname(spill_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._mm = {
+            field: np.memmap(
+                f"{spill_path}.{field}.dat",
+                dtype=self.params.dtype, mode="w+", shape=(self._n, self._d),
+            )
+            for field in ("params", "m", "v")
+        }
+        if deferred:
+            # counters stay in host memory for the store's whole life
+            self.host_memory.allocate("host_defer_counters", self._n)
+        self._resident = True
+        if self.resident_set is not None:
+            self.resident_set.admit(self)
+        self.host_memory.allocate("host_resident_state", self._state_bytes())
+
+    # -- paging ------------------------------------------------------------
+    @property
+    def is_resident(self) -> bool:
+        """Whether the parameter/moment arrays are paged into host memory."""
+        return self._resident
+
+    @property
+    def num_rows(self) -> int:
+        return self._n
+
+    @property
+    def dtype(self):
+        return self._mm["params"].dtype
+
+    def _state_bytes(self) -> int:
+        """fp32-equivalent bytes of the pageable state (params + m + v)."""
+        return 3 * layout.param_bytes(self._n, self._d)
+
+    def spill(self) -> None:
+        """Page the working set out to the spill files (no-op if spilled).
+
+        Pending forwarded gradients and deferred counters are retained in
+        memory; everything else round-trips through the memmaps bit-exactly.
+        """
+        if not self._resident:
+            return
+        opt = self.optimizer
+        self._mm["params"][...] = opt.params
+        self._mm["m"][...] = opt.m
+        self._mm["v"][...] = opt.v
+        for mm in self._mm.values():
+            mm.flush()
+        opt.params = opt.m = opt.v = None
+        self.params = None
+        self._resident = False
+        if self.resident_set is not None:
+            self.resident_set.drop(self)
+        self.host_memory.free("host_resident_state", self._state_bytes())
+        self.ledger.record_page_out(self._state_bytes())
+
+    def page_in(self) -> None:
+        """Page the working set back in (admitting through the budget)."""
+        if self._resident:
+            if self.resident_set is not None:
+                self.resident_set.touch(self)
+            return
+        if self.resident_set is not None:
+            self.resident_set.admit(self)
+        opt = self.optimizer
+        opt.params = self.params = np.array(self._mm["params"])
+        opt.m = np.array(self._mm["m"])
+        opt.v = np.array(self._mm["v"])
+        self._resident = True
+        if self._stashed_lr is not None:
+            opt.set_lr(self._stashed_lr)
+            self._stashed_lr = None
+        self.host_memory.allocate("host_resident_state", self._state_bytes())
+        self.ledger.record_page_in(self._state_bytes())
+
+    # -- step-facing operations (page in on demand) ------------------------
+    def stage(self, ids: np.ndarray) -> np.ndarray:
+        self.page_in()
+        return super().stage(ids)
+
+    def return_grads(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        if not self.forwarding:
+            self.page_in()  # synchronous step touches the arrays
+        super().return_grads(ids, grads)
+
+    def commit(self) -> None:
+        if self._pending_ids is None:
+            return
+        if (
+            not self._resident
+            and self.deferred
+            and self._pending_ids.size == 0
+            and not (self.optimizer.counter >= self.optimizer.max_defer).any()
+        ):
+            # metadata-only tick, identical to DeferredAdam.step_rows with
+            # an empty batch and no saturated counter: no array is touched,
+            # so the shard stays spilled
+            self.optimizer.step_count += 1
+            self.optimizer.counter += 1
+            self._pending_ids = None
+            self._pending_grads = None
+            return
+        self.page_in()
+        super().commit()
+
+    def flush(self) -> None:
+        if (
+            not self._resident
+            and self._pending_ids is None
+            and (not self.deferred or not self.optimizer.counter.any())
+        ):
+            return  # nothing lazy: flushing would be the identity
+        self.page_in()
+        super().flush()
+
+    def materialize(self, ids: np.ndarray | None = None) -> np.ndarray:
+        self.page_in()
+        return super().materialize(ids)
+
+    def set_lr(self, lr_packed: np.ndarray) -> None:
+        if not self._resident:
+            # applied at the next page-in, before any math runs — the lazy
+            # commit already uses commit-time rates, so this changes nothing
+            self._stashed_lr = np.array(lr_packed[self.block.sl])
+            return
+        super().set_lr(lr_packed)
+
+    def _resident_params(self) -> np.ndarray:
+        self.page_in()
+        return self.params
+
+    # -- checkpointing (works from spilled state) --------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self._resident:
+            return super().state_dict()
+        # spilled: hand out the memmap views so a checkpoint can serialize
+        # the store without materializing it in host memory
+        state = {
+            "params": self._mm["params"],
+            "m": self._mm["m"],
+            "v": self._mm["v"],
+            "steps": np.array(self.optimizer.step_count),
+        }
+        if self.deferred:
+            state["counter"] = self.optimizer.counter
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if self._resident:
+            super().load_state_dict(state)
+            return
+        self._mm["params"][...] = state["params"]
+        self._mm["m"][...] = state["m"]
+        self._mm["v"][...] = state["v"]
+        for mm in self._mm.values():
+            mm.flush()
+        self.optimizer.step_count = int(state["steps"])
+        if self.deferred:
+            self.optimizer.counter[...] = state["counter"]
+
+
 class HybridStore(ParameterStore):
     """Composition of child stores over disjoint column blocks.
 
@@ -478,6 +746,22 @@ class HybridStore(ParameterStore):
             if child.block.contains(layout.MEAN_SLICE):
                 return child.geometry()
         raise NotImplementedError("no child owns the geometric columns")
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {
+            f"{child.block.name}/{key}": value
+            for child in self.children
+            for key, value in child.state_dict().items()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for child in self.children:
+            prefix = f"{child.block.name}/"
+            child.load_state_dict({
+                key[len(prefix):]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            })
 
 
 class ShardedStore(ParameterStore):
@@ -591,3 +875,19 @@ class ShardedStore(ParameterStore):
         raise NotImplementedError(
             "sharded geometry is distributed; cull per shard instead"
         )
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {
+            f"shard{k}/{key}": value
+            for k, store in enumerate(self.stores)
+            for key, value in store.state_dict().items()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for k, store in enumerate(self.stores):
+            prefix = f"shard{k}/"
+            store.load_state_dict({
+                key[len(prefix):]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            })

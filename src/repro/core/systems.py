@@ -24,6 +24,11 @@ gradients back):
   transfer ledger (one simulated GPU per shard), per-view shard activation
   via frustum culling, host-side gradient aggregation across shards, and
   an optional multiprocessing fan-out of the per-shard culling work.
+* :class:`OutOfCoreGSScaleSystem` — the sharded system with an out-of-core
+  host tier: each shard's non-geometric state spills to memory-mapped
+  files and only ``resident_shards`` shards occupy host DRAM at once,
+  with per-view spill/prefetch and disk traffic metered on the ledger's
+  page channel.
 
 A :class:`~repro.sim.memory.MemoryTracker` accounts device bytes in fp32
 equivalents, so OOM behaviour and peak-memory ratios can be asserted
@@ -50,26 +55,34 @@ from .config import GSScaleConfig
 from .splitting import find_balanced_split_by, spatial_partition
 from .stores import (
     DeviceStore,
+    DiskStore,
     HostStore,
     HybridStore,
     ParameterStore,
+    ResidentSet,
     ShardedStore,
 )
 
 
 @dataclass
 class TransferLedger:
-    """Counts of simulated PCIe traffic.
+    """Counts of simulated PCIe and disk-paging traffic.
 
-    A ledger built with a ``parent`` mirrors every record into it, so
-    per-shard ledgers roll up into the system-wide ledger the trainer
-    reads.
+    Two channels: the PCIe channel (``h2d``/``d2h``, staging windows and
+    gradient returns) and the disk channel (``page_in``/``page_out``, the
+    out-of-core tier spilling and prefetching shard state). A ledger built
+    with a ``parent`` mirrors every record into it, so per-shard ledgers
+    roll up into the system-wide ledger the trainer reads.
     """
 
     h2d_bytes: int = 0
     d2h_bytes: int = 0
     h2d_count: int = 0
     d2h_count: int = 0
+    page_in_bytes: int = 0
+    page_out_bytes: int = 0
+    page_in_count: int = 0
+    page_out_count: int = 0
     parent: "TransferLedger | None" = None
 
     def record_h2d(self, num_bytes: int) -> None:
@@ -85,6 +98,20 @@ class TransferLedger:
         self.d2h_count += 1
         if self.parent is not None:
             self.parent.record_d2h(num_bytes)
+
+    def record_page_in(self, num_bytes: int) -> None:
+        """Record a disk-to-host page-in (out-of-core prefetch)."""
+        self.page_in_bytes += num_bytes
+        self.page_in_count += 1
+        if self.parent is not None:
+            self.parent.record_page_in(num_bytes)
+
+    def record_page_out(self, num_bytes: int) -> None:
+        """Record a host-to-disk page-out (out-of-core spill)."""
+        self.page_out_bytes += num_bytes
+        self.page_out_count += 1
+        if self.parent is not None:
+            self.parent.record_page_out(num_bytes)
 
 
 @dataclass
@@ -116,7 +143,11 @@ class StepReport:
 
 @dataclass
 class ShardReport:
-    """Per-shard accounting snapshot of a :class:`ShardedGSScaleSystem`."""
+    """Per-shard accounting snapshot of a :class:`ShardedGSScaleSystem`.
+
+    ``page_in_bytes``/``page_out_bytes`` stay zero unless the shard's host
+    state lives in the out-of-core tier.
+    """
 
     shard: int
     num_gaussians: int
@@ -126,6 +157,8 @@ class ShardReport:
     d2h_bytes: int
     h2d_count: int
     d2h_count: int
+    page_in_bytes: int = 0
+    page_out_bytes: int = 0
 
 
 @dataclass
@@ -546,7 +579,7 @@ class ShardedGSScaleSystem(TrainingSystem):
         self.shard_trackers: list[MemoryTracker] = []
         self.shard_ledgers: list[TransferLedger] = []
         shard_stores: list[ParameterStore] = []
-        for rows in self.shard_rows:
+        for k, rows in enumerate(self.shard_rows):
             tracker = MemoryTracker(
                 capacity_bytes=cfg.shard_device_capacity_bytes,
                 parent=self.memory,
@@ -560,20 +593,34 @@ class ShardedGSScaleSystem(TrainingSystem):
                 tracker,
                 label="geo",
             )
-            host = HostStore(
-                sub[:, layout.NON_GEOMETRIC_SLICE],
-                layout.NON_GEOMETRIC_BLOCK,
-                cfg.adam_config(self._lr[layout.NON_GEOMETRIC_SLICE]),
-                tracker,
-                ledger,
-                forwarding=True,
-                deferred=True,
-                max_defer=cfg.max_defer,
+            host = self._make_nongeo_store(
+                sub[:, layout.NON_GEOMETRIC_SLICE], tracker, ledger, k
             )
             shard_stores.append(HybridStore([geo, host]))
             self.shard_trackers.append(tracker)
             self.shard_ledgers.append(ledger)
         self.store = ShardedStore(self.shard_rows, shard_stores)
+
+    def _make_nongeo_store(
+        self,
+        params_block: np.ndarray,
+        tracker: MemoryTracker,
+        ledger: TransferLedger,
+        k: int,
+    ) -> ParameterStore:
+        """Placement of shard ``k``'s non-geometric block (overridable:
+        the out-of-core system swaps in a :class:`DiskStore` here)."""
+        cfg = self.config
+        return HostStore(
+            params_block,
+            layout.NON_GEOMETRIC_BLOCK,
+            cfg.adam_config(self._lr[layout.NON_GEOMETRIC_SLICE]),
+            tracker,
+            ledger,
+            forwarding=True,
+            deferred=True,
+            max_defer=cfg.max_defer,
+        )
 
     # -- distributed culling ----------------------------------------------
     @property
@@ -660,6 +707,8 @@ class ShardedGSScaleSystem(TrainingSystem):
                 d2h_bytes=ledger.d2h_bytes,
                 h2d_count=ledger.h2d_count,
                 d2h_count=ledger.d2h_count,
+                page_in_bytes=ledger.page_in_bytes,
+                page_out_bytes=ledger.page_out_bytes,
             )
             for k, (rows, tracker, ledger) in enumerate(
                 zip(self.shard_rows, self.shard_trackers, self.shard_ledgers)
@@ -689,8 +738,130 @@ class ShardedGSScaleSystem(TrainingSystem):
         return entries
 
 
+class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
+    """Sharded GS-Scale with an out-of-core host tier (TideGS-style).
+
+    Identical to :class:`ShardedGSScaleSystem` except each shard's
+    non-geometric block lives in a :class:`~repro.core.stores.DiskStore`:
+    parameters and Adam moments are backed by memory-mapped spill files
+    under ``GSScaleConfig.spill_dir`` (a temporary directory when unset),
+    and at most ``GSScaleConfig.resident_shards`` shards are paged into
+    host DRAM at once (a shared :class:`~repro.core.stores.ResidentSet`).
+    ``self.host_memory`` tracks the resident working set; the ledger's
+    ``page_in``/``page_out`` channel meters the disk traffic.
+
+    Each step prefetches the view's active shards, runs the ordinary
+    sharded step (spilled shards page in on demand; inactive shards with
+    unsaturated defer counters tick without paging at all), then spills
+    whatever the view did not touch. Placement changes accounting, never
+    numerics: the run is bit-identical to the in-memory sharded system.
+    """
+
+    name = "outofcore"
+
+    def _setup(self, model: GaussianModel) -> None:
+        cfg = self.config
+        if cfg.spill_dir is None:
+            import tempfile
+
+            # held on the system so the spill files die with it
+            self._spill_tmp = tempfile.TemporaryDirectory(
+                prefix="gsscale-spill-"
+            )
+            self._spill_root = self._spill_tmp.name
+        else:
+            self._spill_tmp = None
+            self._spill_root = cfg.spill_dir
+        self.host_memory = MemoryTracker()
+        self.resident_set = ResidentSet(cfg.resident_shards)
+        self._cull_cache: tuple[Camera, CullResult] | None = None
+        super()._setup(model)
+
+    def _make_nongeo_store(
+        self,
+        params_block: np.ndarray,
+        tracker: MemoryTracker,
+        ledger: TransferLedger,
+        k: int,
+    ) -> ParameterStore:
+        import os
+
+        cfg = self.config
+        return DiskStore(
+            params_block,
+            layout.NON_GEOMETRIC_BLOCK,
+            cfg.adam_config(self._lr[layout.NON_GEOMETRIC_SLICE]),
+            tracker,
+            ledger,
+            spill_path=os.path.join(self._spill_root, f"shard{k}_host"),
+            host_memory=self.host_memory,
+            resident_set=self.resident_set,
+            forwarding=True,
+            deferred=True,
+            max_defer=cfg.max_defer,
+        )
+
+    # -- spill / prefetch lifecycle ---------------------------------------
+    def _nongeo_store(self, k: int) -> DiskStore:
+        return self.store.stores[k].children[1]
+
+    def active_shard_ids(self, camera: Camera) -> list[int]:
+        """Shards with at least one Gaussian inside ``camera``'s frustum."""
+        return [
+            k
+            for k in range(self.num_shards)
+            if frustum_cull(*self._shard_geometry(k), camera).num_visible
+        ]
+
+    def prefetch(self, camera: Camera) -> list[int]:
+        """Page in the view's active shards (up to the resident budget).
+
+        Models the asynchronous next-view prefetch of a real out-of-core
+        pipeline: by the time staging runs, the active working set is
+        already host-resident. The whole-view cull this needs (run
+        through the ``shard_workers`` pool when enabled) is cached and
+        reused by the step's own region planning, so prefetching adds no
+        culling work.
+        """
+        whole = super()._cull(camera)
+        self._cull_cache = (camera, whole)
+        active = [
+            k
+            for k, rows in enumerate(self.shard_rows)
+            if self.store._members(whole.valid_ids, rows)[0].size
+        ]
+        for k in active[: self.resident_set.budget]:
+            self._nongeo_store(k).page_in()
+        return active
+
+    def _cull(self, camera: Camera) -> CullResult:
+        # geometry is immutable between prefetch and region planning
+        # (gradients land after rendering), so the cached cull is exact
+        if self._cull_cache is not None and self._cull_cache[0] is camera:
+            return self._cull_cache[1]
+        return super()._cull(camera)
+
+    def spill_inactive(self, active: list[int]) -> None:
+        """Spill every resident shard the view left untouched."""
+        keep = set(active)
+        for k in range(self.num_shards):
+            store = self._nongeo_store(k)
+            if k not in keep and store.is_resident:
+                store.spill()
+
+    def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
+        active = self.prefetch(camera)
+        try:
+            report = super().step(camera, gt_image)
+        finally:
+            self._cull_cache = None  # geometry mutates at step end
+        self.spill_inactive(active)
+        return report
+
+
 def create_system(model: GaussianModel, config: GSScaleConfig) -> TrainingSystem:
-    """Factory for the Figure-11 systems plus the sharded multi-device one."""
+    """Factory for the Figure-11 systems plus the sharded multi-device and
+    out-of-core extensions."""
     if config.system == "gpu_only":
         return GPUOnlySystem(model, config)
     if config.system == "baseline_offload":
@@ -701,4 +872,6 @@ def create_system(model: GaussianModel, config: GSScaleConfig) -> TrainingSystem
         return GSScaleSystem(model, config, deferred=True)
     if config.system == "sharded":
         return ShardedGSScaleSystem(model, config)
+    if config.system == "outofcore":
+        return OutOfCoreGSScaleSystem(model, config)
     raise ValueError(f"unknown system {config.system!r}")

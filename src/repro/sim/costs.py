@@ -73,6 +73,9 @@ ITERATION_OVERHEAD_S = 1.5e-3
 #: Per-transfer-chunk launch latency, seconds.
 CHUNK_LATENCY_S = 30e-6
 
+#: Per-paging-operation latency (file-system + queueing), seconds.
+DISK_IO_LATENCY_S = 100e-6
+
 _WORD = 4  # float32 bytes
 
 
@@ -155,3 +158,9 @@ class CostModel:
     def d2h_grads(self, n_rows: int, dim: int) -> float:
         """Device-to-host gradient return."""
         return self.transfer(n_rows * dim * _WORD)
+
+    def disk_page(self, num_bytes: float) -> float:
+        """Host<->disk paging time (out-of-core spill/prefetch)."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.platform.disk_bw + DISK_IO_LATENCY_S

@@ -221,13 +221,55 @@ def bytes_per_gaussian(
     raise ValueError(f"unknown system {system!r}")
 
 
+#: Defaults of the out-of-core placement tier (mirrors
+#: ``GSScaleConfig.num_shards`` / ``GSScaleConfig.resident_shards``).
+DEFAULT_OUTOFCORE_SHARDS = 4
+DEFAULT_RESIDENT_SHARDS = 1
+
+
+def outofcore_host_state_bytes(
+    num_gaussians: int,
+    num_shards: int = DEFAULT_OUTOFCORE_SHARDS,
+    resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+) -> int:
+    """Host DRAM floor of the out-of-core system.
+
+    Only the resident shards' non-geometric training state occupies host
+    memory; the defer counters of *every* shard stay resident (1 byte per
+    Gaussian — they are what lets a spilled shard tick without paging).
+    """
+    if not 1 <= resident_shards:
+        raise ValueError("resident_shards must be >= 1")
+    per_shard = -(-num_gaussians // num_shards)  # ceil: worst shards
+    resident_rows = min(resident_shards, num_shards) * per_shard
+    state = layout.train_state_bytes(resident_rows, layout.NON_GEOMETRIC_DIM)
+    counters = num_gaussians
+    return state + counters
+
+
+def disk_state_bytes(
+    num_gaussians: int,
+    num_shards: int = DEFAULT_OUTOFCORE_SHARDS,
+    resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+) -> int:
+    """Bytes of training state the out-of-core system keeps on disk.
+
+    The spilled shards' non-geometric parameters and both Adam moments
+    (3 float copies — gradients never reach the disk tier).
+    """
+    per_shard = -(-num_gaussians // num_shards)
+    spilled_rows = max(num_shards - resident_shards, 0) * per_shard
+    return 3 * layout.param_bytes(spilled_rows, layout.NON_GEOMETRIC_DIM)
+
+
 def host_state_bytes(num_gaussians: int, system: str) -> int:
     """Host-memory footprint of the offloaded training state.
 
     GS-Scale keeps the non-geometric parameters and their two Adam moments
     (plus the returned gradients and the defer counters) in host DRAM; the
     baseline keeps all 59 columns there. The GPU-only system offloads
-    nothing.
+    nothing, and the out-of-core system hosts only its resident shard set
+    (defaults; :func:`outofcore_host_state_bytes` takes explicit knobs).
     """
     if system == "gpu_only":
         return 0
@@ -239,6 +281,8 @@ def host_state_bytes(num_gaussians: int, system: str) -> int:
         state = layout.train_state_bytes(num_gaussians, layout.NON_GEOMETRIC_DIM)
         counters = num_gaussians  # one byte each
         return state + counters
+    if system == "outofcore":
+        return outofcore_host_state_bytes(num_gaussians)
     raise ValueError(f"unknown system {system!r}")
 
 

@@ -40,6 +40,7 @@ SYSTEMS = (
     "gsscale",
     "gpu_only",
     "sharded",
+    "outofcore",
 )
 
 #: Deferred-update saturation overhead: with a 4-bit counter, 1/15 of the
@@ -65,6 +66,18 @@ SHARD_HOST_PARALLEL_EFFICIENCY = 0.5
 
 #: Per-iteration cross-device synchronization overhead, seconds.
 SHARD_SYNC_OVERHEAD_S = 0.3e-3
+
+#: Resident shards of the modeled out-of-core system (host DRAM budget).
+DEFAULT_RESIDENT_SHARDS = 1
+
+#: Consecutive views served per shard residency: out-of-core trainers
+#: (TideGS) order views so a paged-in block trains many nearby views
+#: before being evicted, amortizing its page-in/out across them.
+OUTOFCORE_VIEW_LOCALITY = 8.0
+
+#: Paged bytes per shard state byte and swap: page the evicted shard out
+#: and the incoming one in.
+PAGE_ROUNDTRIP = 2.0
 
 
 @dataclass(frozen=True)
@@ -113,6 +126,7 @@ def simulate_iteration(
     num_pixels: int,
     mem_limit: float = 0.3,
     num_shards: int = DEFAULT_NUM_SHARDS,
+    resident_shards: int = DEFAULT_RESIDENT_SHARDS,
 ) -> IterationSim:
     """Simulate one training iteration under ``system``."""
     n_active = int(n_total * active_ratio)
@@ -134,6 +148,11 @@ def simulate_iteration(
     if system == "sharded":
         return _sim_sharded(
             cost, n_total, n_active, num_pixels, splits, num_shards
+        )
+    if system == "outofcore":
+        return _sim_sharded(
+            cost, n_total, n_active, num_pixels, splits, num_shards,
+            resident_shards=resident_shards,
         )
     raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
 
@@ -273,6 +292,7 @@ def _sim_sharded(
     num_pixels: int,
     splits: int,
     num_shards: int,
+    resident_shards: int | None = None,
 ) -> IterationSim:
     """K-device Gaussian-sharded GS-Scale (Grendel-style schedule).
 
@@ -281,6 +301,13 @@ def _sim_sharded(
     parallel, and the host leg — aggregation across shards plus the
     deferred commit — is unchanged in total work. One all-to-all exchange
     of projected splat records per iteration joins the per-shard renders.
+
+    With ``resident_shards`` set (the out-of-core tier), a fourth leg pages
+    shard state between host DRAM and disk: the view's active shards
+    beyond the resident budget swap in (amortized over
+    ``OUTOFCORE_VIEW_LOCALITY`` consecutive views by TideGS-style view
+    ordering), and each spilled shard additionally pages in once per
+    ``max_defer`` steps when its deferred counters saturate.
     """
     dim = layout.NON_GEOMETRIC_DIM
     shard_total = -(-n_total // num_shards)
@@ -309,10 +336,23 @@ def _sim_sharded(
     exchange = cost.transfer(n_active * SHARD_EXCHANGE_BYTES_PER_ACTIVE)
     pcie_leg = h2d + d2h + exchange
 
+    # disk leg (out-of-core tier only)
+    disk_leg = 0.0
+    if resident_shards is not None:
+        shard_state = 3 * layout.param_bytes(shard_total, dim)  # params+m+v
+        active_shards = min(
+            num_shards, max(1, int(np.ceil(n_active / max(n_total, 1) * num_shards)))
+        )
+        view_swaps = max(active_shards - resident_shards, 0) / OUTOFCORE_VIEW_LOCALITY
+        spilled = max(num_shards - resident_shards, 0)
+        saturation_swaps = spilled * SATURATION_FRACTION
+        disk_bytes = PAGE_ROUNDTRIP * (view_swaps + saturation_swaps) * shard_state
+        disk_leg = cost.disk_page(disk_bytes)
+
     split_overhead = (splits - 1) * ITERATION_OVERHEAD_S
     sync = SHARD_SYNC_OVERHEAD_S if num_shards > 1 else 0.0
     time = (
-        max(gpu_leg, cpu_leg, pcie_leg)
+        max(gpu_leg, cpu_leg, pcie_leg, disk_leg)
         + ITERATION_OVERHEAD_S
         + split_overhead
         + sync
@@ -332,18 +372,18 @@ def _sim_sharded(
         Segment("PCIe", "D2H", peek * 0.2 + h2d + fwd_bwd,
                 peek * 0.2 + h2d + fwd_bwd + d2h),
     ]
-    return IterationSim(
-        time=time,
-        breakdown={
-            "cull": cull,
-            "h2d": h2d + exchange,
-            "fwd_bwd": fwd_bwd,
-            "d2h": d2h,
-            "optimizer": peek + update,
-            "misc": ITERATION_OVERHEAD_S + split_overhead + sync,
-        },
-        segments=segments,
-    )
+    breakdown = {
+        "cull": cull,
+        "h2d": h2d + exchange,
+        "fwd_bwd": fwd_bwd,
+        "d2h": d2h,
+        "optimizer": peek + update,
+        "misc": ITERATION_OVERHEAD_S + split_overhead + sync,
+    }
+    if resident_shards is not None:
+        breakdown["disk"] = disk_leg
+        segments.append(Segment("Disk", "page", 0.0, disk_leg))
+    return IterationSim(time=time, breakdown=breakdown, segments=segments)
 
 
 @dataclass
@@ -384,8 +424,10 @@ def peak_memory(
 ):
     """Memory breakdown at the epoch's worst view for ``system``.
 
-    For ``sharded`` this is the *per-device* breakdown (the quantity each
-    of the K GPUs must fit).
+    For ``sharded`` and ``outofcore`` this is the *per-device* breakdown
+    (the quantity each of the K GPUs must fit); the out-of-core tier only
+    changes where the *host* state lives, so its device footprint equals
+    the sharded system's.
     """
     if system == "gpu_only":
         return gpu_only_breakdown(n_total, num_pixels)
@@ -393,7 +435,7 @@ def peak_memory(
         return baseline_offload_breakdown(n_total, num_pixels, peak_active_ratio)
     if system in ("gsscale", "gsscale_no_deferred"):
         return gsscale_breakdown(n_total, num_pixels, peak_active_ratio, mem_limit)
-    if system == "sharded":
+    if system in ("sharded", "outofcore"):
         return sharded_breakdown(
             n_total, num_pixels, peak_active_ratio, mem_limit, num_shards
         )
@@ -409,7 +451,7 @@ def simulate_epoch(
 ) -> EpochResult:
     """Run one epoch of ``trace`` through ``system`` on ``platform``."""
     n_total = trace.total_gaussians
-    if system in ("gsscale", "gsscale_no_deferred", "sharded"):
+    if system in ("gsscale", "gsscale_no_deferred", "sharded", "outofcore"):
         # image splitting bounds the staged window by the worst *per-pass*
         # ratio across the epoch, not the worst raw view
         staged_peak = trace.clipped(mem_limit).peak_ratio

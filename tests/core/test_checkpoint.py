@@ -75,6 +75,91 @@ class TestResume:
         assert fresh.iteration == 4
 
 
+class TestMidRunEquivalence:
+    """Save at step N, resume, train N more: bit-compare against an
+    uninterrupted 2N-step run.
+
+    Checkpointing commits pending/lazy state, so the uninterrupted control
+    finalizes at step N too (identical math at the same point); with that
+    alignment, every placement — including the sharded and out-of-core
+    systems — must agree to the last bit.
+    """
+
+    N = 3
+
+    @pytest.mark.parametrize(
+        "system_name,extra",
+        [
+            ("gpu_only", {}),
+            ("baseline_offload", {}),
+            ("sharded", {"num_shards": 3}),
+            ("outofcore", {"num_shards": 3, "resident_shards": 1}),
+        ],
+    )
+    def test_resume_bit_identical(self, tmp_path, scene, system_name, extra):
+        n = self.N
+        config = cfg(scene, system_name)
+        for key, value in extra.items():
+            setattr(config, key, value)
+
+        def fresh():
+            import dataclasses
+
+            return create_system(
+                scene.initial.copy(), dataclasses.replace(config)
+            )
+
+        straight = fresh()
+        steps(straight, scene, n)
+        straight.finalize()  # align with save_checkpoint's settling point
+        steps(straight, scene, n, start=n)
+        straight.finalize()
+
+        path = str(tmp_path / f"{system_name}_midrun.npz")
+        first = fresh()
+        steps(first, scene, n)
+        save_checkpoint(path, first)
+
+        resumed = fresh()
+        load_checkpoint(path, resumed)
+        assert resumed.iteration == n
+        steps(resumed, scene, n, start=n)
+        resumed.finalize()
+
+        np.testing.assert_array_equal(
+            resumed.materialized_model().params,
+            straight.materialized_model().params,
+        )
+
+    def test_outofcore_resume_matches_sharded_resume(self, tmp_path, scene):
+        """Placement changes nothing across a checkpoint boundary either:
+        the resumed out-of-core run equals the resumed in-memory run."""
+        results = {}
+        for name, extra in (
+            ("sharded", {"num_shards": 3}),
+            ("outofcore", {"num_shards": 3, "resident_shards": 1}),
+        ):
+            config = cfg(scene, name)
+            for key, value in extra.items():
+                setattr(config, key, value)
+            s = create_system(scene.initial.copy(), config)
+            steps(s, scene, self.N)
+            path = str(tmp_path / f"{name}_cross.npz")
+            save_checkpoint(path, s)
+            import dataclasses
+
+            resumed = create_system(
+                scene.initial.copy(), dataclasses.replace(config)
+            )
+            load_checkpoint(path, resumed)
+            steps(resumed, scene, self.N, start=self.N)
+            resumed.finalize()
+            results[name] = resumed.materialized_model().params
+        np.testing.assert_array_equal(
+            results["sharded"], results["outofcore"]
+        )
+
+
 class TestValidation:
     def test_system_mismatch_rejected(self, tmp_path, scene):
         path = str(tmp_path / "a.npz")
