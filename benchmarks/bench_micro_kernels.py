@@ -128,17 +128,18 @@ def test_render_backward(benchmark, render_scene):
 RASTER_N = 5_000  # ~5k visible splats, the paper's average active count
 RASTER_WH = 256
 
+#: The parallel-speedup acceptance scene: 50k visible splats.
+RASTER_N_LARGE = 50_000
 
-@pytest.fixture(scope="module")
-def raster_scene():
-    """~5k visible splats on a 256x256 render.
 
-    Splat scales (sigma 0.5-1.2 px) match the paper's regime: on
-    multi-million-Gaussian scenes most visible splats project to a few
-    pixels (the EPS_2D low-pass floor alone is sigma ~0.55).
+def make_raster_scene(n: int, wh: int, seed: int = 7):
+    """Random splat arrays in the paper's regime.
+
+    Splat scales (sigma 0.5-1.2 px) match multi-million-Gaussian scenes,
+    where most visible splats project to a few pixels (the EPS_2D
+    low-pass floor alone is sigma ~0.55).
     """
-    rng = np.random.default_rng(7)
-    n, wh = RASTER_N, RASTER_WH
+    rng = np.random.default_rng(seed)
     means2d = rng.uniform([0, 0], [wh, wh], size=(n, 2))
     sig = rng.uniform(0.5, 1.2, size=n)
     conics = np.stack([1 / sig**2, np.zeros(n), 1 / sig**2], axis=1)
@@ -147,6 +148,12 @@ def raster_scene():
     depths = rng.uniform(1, 20, size=n)
     radii = 3 * sig
     return (means2d, conics, colors, opacities, depths, radii, wh, wh)
+
+
+@pytest.fixture(scope="module")
+def raster_scene():
+    """~5k visible splats on a 256x256 render."""
+    return make_raster_scene(RASTER_N, RASTER_WH)
 
 
 def test_rasterize_forward_reference(benchmark, raster_scene):
@@ -242,6 +249,211 @@ def test_raster_engine_speedup(benchmark, raster_scene):
     fwd_speedup, bwd_speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
     assert fwd_speedup >= 5.0, f"forward speedup only {fwd_speedup:.1f}x"
     assert bwd_speedup >= 5.0, f"backward speedup only {bwd_speedup:.1f}x"
+
+
+# ---------------------------------------------------------------------------
+# parallel engine + float32 fast path
+# ---------------------------------------------------------------------------
+
+import json
+import os
+import time
+
+
+def _best_of(fn, rounds=3):
+    fn()  # warmup
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_rasterize_forward_parallel(benchmark, raster_scene, workers):
+    from repro.render import RasterConfig
+    from repro.render.parallel import rasterize_parallel
+
+    cfg = RasterConfig(engine="parallel", workers=workers)
+    res = benchmark(lambda: rasterize_parallel(*raster_scene, config=cfg))
+    assert res.image.shape == (RASTER_WH, RASTER_WH, 3)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_rasterize_backward_parallel(benchmark, raster_scene, workers):
+    from repro.render import RasterConfig
+    from repro.render.parallel import (
+        rasterize_backward_parallel,
+        rasterize_parallel,
+    )
+
+    cfg = RasterConfig(engine="parallel", workers=workers)
+    res = rasterize_parallel(*raster_scene, config=cfg)
+    grad = np.ones((RASTER_WH, RASTER_WH, 3))
+    out = benchmark(
+        lambda: rasterize_backward_parallel(
+            raster_scene[0], raster_scene[1], raster_scene[2],
+            raster_scene[3], res, grad, config=cfg,
+        )
+    )
+    assert out.means2d.shape == (RASTER_N, 2)
+
+
+def test_rasterize_forward_vectorized_f32(benchmark, raster_scene):
+    """The float32 inference fast path (micro-bench column; parity is
+    pinned by tests/render/test_parallel_engine.py)."""
+    from repro.render import RasterConfig
+    from repro.render.engine import rasterize_vectorized
+
+    cfg = RasterConfig(dtype="float32")
+    res = benchmark(lambda: rasterize_vectorized(*raster_scene, config=cfg))
+    assert res.image.dtype == np.float32
+
+
+def _physical_cpu_count() -> int:
+    """Physical cores (Linux /proc parse); logical count as fallback.
+
+    The 2x gate needs 4 real cores — SMT siblings of a bandwidth-bound
+    exp2/bincount workload don't double throughput, so counting logical
+    CPUs would run (and flake) the gate on 2-core/4-thread laptops.
+    """
+    try:
+        cores = set()
+        phys = "0"
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.startswith("physical id"):
+                    phys = line.split(":", 1)[1].strip()
+                elif line.startswith("core id"):
+                    cores.add((phys, line.split(":", 1)[1].strip()))
+        if cores:
+            return len(cores)
+    except OSError:
+        pass
+    return os.cpu_count() or 1
+
+
+@pytest.mark.skipif(
+    _physical_cpu_count() < 4,
+    reason="parallel speedup gate needs >= 4 physical cores",
+)
+def test_raster_parallel_speedup(benchmark):
+    """Acceptance gate: at 4 workers on the 50k-splat scene, the parallel
+    engine must at least halve the combined forward+backward wall-clock
+    of the vectorized engine."""
+    from repro.render import RasterConfig
+    from repro.render.engine import (
+        rasterize_backward_vectorized,
+        rasterize_vectorized,
+    )
+    from repro.render.parallel import (
+        rasterize_backward_parallel,
+        rasterize_parallel,
+    )
+
+    scene = make_raster_scene(RASTER_N_LARGE, RASTER_WH)
+    cfg = RasterConfig(engine="parallel", workers=4)
+    grad = np.ones((RASTER_WH, RASTER_WH, 3))
+
+    def compare():
+        vec_res = rasterize_vectorized(*scene)
+        par_res = rasterize_parallel(*scene, config=cfg)
+        np.testing.assert_allclose(
+            par_res.image, vec_res.image, atol=1e-9, rtol=0
+        )
+        t_vec = _best_of(lambda: rasterize_vectorized(*scene)) + _best_of(
+            lambda: rasterize_backward_vectorized(
+                scene[0], scene[1], scene[2], scene[3], vec_res, grad
+            )
+        )
+        t_par = _best_of(
+            lambda: rasterize_parallel(*scene, config=cfg)
+        ) + _best_of(
+            lambda: rasterize_backward_parallel(
+                scene[0], scene[1], scene[2], scene[3], par_res, grad,
+                config=cfg,
+            )
+        )
+        return t_vec / t_par
+
+    speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert speedup >= 2.0, f"parallel speedup only {speedup:.2f}x"
+
+
+def test_raster_engine_matrix(benchmark):
+    """Engine x workers x splat-count x dtype timing matrix.
+
+    Writes ``benchmarks/out/BENCH_raster.json`` — the perf-trajectory
+    artifact the CI perf-smoke job uploads. ``GSSCALE_BENCH_QUICK=1``
+    shrinks the grid so shared runners finish in seconds; no speedup is
+    asserted here (timings on shared runners are informational).
+    """
+    from repro.render import RasterConfig
+    from repro.render.engine import (
+        rasterize_backward_vectorized,
+        rasterize_vectorized,
+    )
+    from repro.render.parallel import (
+        rasterize_backward_parallel,
+        rasterize_parallel,
+    )
+
+    quick = os.environ.get("GSSCALE_BENCH_QUICK", "") not in ("", "0")
+    sizes = (2_000,) if quick else (RASTER_N, RASTER_N_LARGE)
+    worker_axis = (1, 2) if quick else (1, 2, 4)
+    rounds = 1 if quick else 2
+
+    def run_matrix():
+        entries = []
+        for n in sizes:
+            scene = make_raster_scene(n, RASTER_WH)
+            grad = np.ones((RASTER_WH, RASTER_WH, 3))
+
+            def add(engine, workers, dtype, fwd, bwd):
+                entries.append({
+                    "engine": engine, "workers": workers, "dtype": dtype,
+                    "splats": n,
+                    "forward_s": _best_of(fwd, rounds),
+                    "backward_s": _best_of(bwd, rounds) if bwd else None,
+                })
+
+            for dtype in (None, "float32"):
+                cfg = RasterConfig(dtype=dtype)
+                res = rasterize_vectorized(*scene, config=cfg)
+                add(
+                    "vectorized", 0, dtype or "float64",
+                    lambda cfg=cfg: rasterize_vectorized(*scene, config=cfg),
+                    lambda res=res, cfg=cfg: rasterize_backward_vectorized(
+                        scene[0], scene[1], scene[2], scene[3], res, grad,
+                        config=cfg,
+                    ),
+                )
+            for workers in worker_axis:
+                cfg = RasterConfig(engine="parallel", workers=workers)
+                res = rasterize_parallel(*scene, config=cfg)
+                add(
+                    "parallel", workers, "float64",
+                    lambda cfg=cfg: rasterize_parallel(*scene, config=cfg),
+                    lambda res=res, cfg=cfg: rasterize_backward_parallel(
+                        scene[0], scene[1], scene[2], scene[3], res, grad,
+                        config=cfg,
+                    ),
+                )
+        return entries
+
+    entries = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "image": f"{RASTER_WH}x{RASTER_WH}",
+        "entries": entries,
+    }
+    with open(os.path.join(out_dir, "BENCH_raster.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+    assert entries and all(e["forward_s"] > 0 for e in entries)
 
 
 def test_ssim_with_grad(benchmark):

@@ -13,6 +13,7 @@ from .stores import (
     HostStore,
     HybridStore,
     ParameterStore,
+    PreloadedShard,
     ResidentSet,
     ShardedStore,
 )
@@ -27,6 +28,7 @@ from .systems import (
     TrainingSystem,
     TransferLedger,
     create_system,
+    locality_view_order,
 )
 from .trainer import EvalResult, Trainer, TrainingHistory
 
@@ -43,6 +45,7 @@ __all__ = [
     "ImageSplit",
     "OutOfCoreGSScaleSystem",
     "ParameterStore",
+    "PreloadedShard",
     "ResidentSet",
     "SYSTEM_NAMES",
     "ShardReport",
@@ -56,5 +59,6 @@ __all__ = [
     "create_system",
     "find_balanced_split",
     "find_balanced_split_by",
+    "locality_view_order",
     "spatial_partition",
 ]

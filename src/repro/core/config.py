@@ -64,6 +64,16 @@ class GSScaleConfig:
         resident_shards: how many shards' non-geometric host state the
             ``outofcore`` system keeps paged into host DRAM at once (the
             resident-set budget; the rest lives in the spill files).
+        async_prefetch: overlap the ``outofcore`` system's disk page-ins
+            with compute: a background worker snapshots the *next* view's
+            spilled shards (``DiskStore.preload``, double-buffered) while
+            the current view renders, and the next step adopts the
+            buffers instead of reading disk on the critical path. Needs a
+            next-view hint (``OutOfCoreGSScaleSystem.hint_next_view``;
+            the :class:`~repro.core.trainer.Trainer` issues it
+            automatically). Numerics and ledger traffic are identical to
+            the synchronous schedule — only the stall moves off the
+            critical path.
         raster: rasterizer thresholds and backend selection.
         engine: one-shot convenience override for ``raster.engine`` — one
             of :data:`repro.render.rasterize.ENGINES` (``"reference"``,
@@ -95,6 +105,7 @@ class GSScaleConfig:
     shard_device_capacity_bytes: int | None = None
     spill_dir: str | None = None
     resident_shards: int = 1
+    async_prefetch: bool = False
     raster: RasterConfig = field(default_factory=RasterConfig)
     engine: str | None = None
     background: np.ndarray | None = None

@@ -45,7 +45,9 @@ to settle all lazy state. The four placements:
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -434,6 +436,22 @@ class ResidentSet:
             self._stores.remove(store)
 
 
+@dataclass
+class PreloadedShard:
+    """A :meth:`DiskStore.preload` snapshot: spill-file contents read into
+    plain arrays off the training thread, plus the spill epoch they were
+    read at (so :meth:`DiskStore.adopt` can reject torn snapshots).
+    """
+
+    arrays: dict[str, np.ndarray]
+    epoch: int
+
+    @property
+    def nbytes(self) -> int:
+        """Host bytes the staged snapshot occupies."""
+        return sum(a.nbytes for a in self.arrays.values())
+
+
 class DiskStore(HostStore):
     """Out-of-core host rows: state spills to memory-mapped files.
 
@@ -494,6 +512,11 @@ class DiskStore(HostStore):
         self.host_memory = host_memory if host_memory is not None else MemoryTracker()
         self.resident_set = resident_set
         self._stashed_lr: np.ndarray | None = None
+        # paging is thread-safe: the async prefetch leg snapshots spill
+        # files from a background thread while the training thread spills
+        # and pages in; the epoch counter invalidates stale snapshots
+        self._page_lock = threading.RLock()
+        self._spill_epoch = 0
         parent = os.path.dirname(spill_path)
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -536,40 +559,83 @@ class DiskStore(HostStore):
         Pending forwarded gradients and deferred counters are retained in
         memory; everything else round-trips through the memmaps bit-exactly.
         """
-        if not self._resident:
-            return
-        opt = self.optimizer
-        self._mm["params"][...] = opt.params
-        self._mm["m"][...] = opt.m
-        self._mm["v"][...] = opt.v
-        for mm in self._mm.values():
-            mm.flush()
-        opt.params = opt.m = opt.v = None
-        self.params = None
-        self._resident = False
-        if self.resident_set is not None:
-            self.resident_set.drop(self)
-        self.host_memory.free("host_resident_state", self._state_bytes())
-        self.ledger.record_page_out(self._state_bytes())
-
-    def page_in(self) -> None:
-        """Page the working set back in (admitting through the budget)."""
-        if self._resident:
+        with self._page_lock:
+            if not self._resident:
+                return
+            opt = self.optimizer
+            self._mm["params"][...] = opt.params
+            self._mm["m"][...] = opt.m
+            self._mm["v"][...] = opt.v
+            for mm in self._mm.values():
+                mm.flush()
+            opt.params = opt.m = opt.v = None
+            self.params = None
+            self._resident = False
+            self._spill_epoch += 1
             if self.resident_set is not None:
-                self.resident_set.touch(self)
-            return
+                self.resident_set.drop(self)
+            self.host_memory.free("host_resident_state", self._state_bytes())
+            self.ledger.record_page_out(self._state_bytes())
+
+    def _install(self, arrays: dict[str, np.ndarray]) -> None:
+        """Adopt ``arrays`` as the paged-in working set (lock held,
+        spilled). The single page-in path: accounting and the ledger's
+        disk channel see one record whether the bytes came from a
+        synchronous read or an async preload."""
         if self.resident_set is not None:
             self.resident_set.admit(self)
         opt = self.optimizer
-        opt.params = self.params = np.array(self._mm["params"])
-        opt.m = np.array(self._mm["m"])
-        opt.v = np.array(self._mm["v"])
+        opt.params = self.params = arrays["params"]
+        opt.m = arrays["m"]
+        opt.v = arrays["v"]
         self._resident = True
         if self._stashed_lr is not None:
             opt.set_lr(self._stashed_lr)
             self._stashed_lr = None
         self.host_memory.allocate("host_resident_state", self._state_bytes())
         self.ledger.record_page_in(self._state_bytes())
+
+    def page_in(self) -> None:
+        """Page the working set back in (admitting through the budget)."""
+        with self._page_lock:
+            if self._resident:
+                if self.resident_set is not None:
+                    self.resident_set.touch(self)
+                return
+            self._install(
+                {f: np.array(self._mm[f]) for f in ("params", "m", "v")}
+            )
+
+    def preload(self) -> PreloadedShard | None:
+        """Snapshot the spill files into plain arrays, mutating nothing.
+
+        The async prefetch leg calls this from a background thread while
+        the training thread renders; the snapshot is handed back to
+        :meth:`adopt` on the training thread. Returns ``None`` when the
+        store is already resident. A spill racing the read leaves a torn
+        snapshot — the epoch check in :meth:`adopt` discards it.
+        """
+        with self._page_lock:
+            if self._resident:
+                return None
+            epoch = self._spill_epoch
+        # read outside the lock: this is the I/O being overlapped
+        arrays = {f: np.array(self._mm[f]) for f in ("params", "m", "v")}
+        return PreloadedShard(arrays=arrays, epoch=epoch)
+
+    def adopt(self, pre: PreloadedShard) -> bool:
+        """Install a :meth:`preload` snapshot as the working set.
+
+        Exactly :meth:`page_in` minus the disk read. Returns ``False`` —
+        and installs nothing — when the store paged in or spilled since
+        the snapshot was taken (the snapshot may be stale or torn); the
+        caller falls back to a synchronous :meth:`page_in`.
+        """
+        with self._page_lock:
+            if self._resident or pre.epoch != self._spill_epoch:
+                return False
+            self._install(pre.arrays)
+            return True
 
     # -- step-facing operations (page in on demand) ------------------------
     def stage(self, ids: np.ndarray) -> np.ndarray:
@@ -644,17 +710,21 @@ class DiskStore(HostStore):
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        if self._resident:
-            super().load_state_dict(state)
-            return
-        self._mm["params"][...] = state["params"]
-        self._mm["m"][...] = state["m"]
-        self._mm["v"][...] = state["v"]
-        for mm in self._mm.values():
-            mm.flush()
-        self.optimizer.step_count = int(state["steps"])
-        if self.deferred:
-            self.optimizer.counter[...] = state["counter"]
+        with self._page_lock:
+            if self._resident:
+                super().load_state_dict(state)
+                return
+            self._mm["params"][...] = state["params"]
+            self._mm["m"][...] = state["m"]
+            self._mm["v"][...] = state["v"]
+            for mm in self._mm.values():
+                mm.flush()
+            # the spill files changed under any outstanding preload
+            # snapshot: bump the epoch so adopt() rejects it
+            self._spill_epoch += 1
+            self.optimizer.step_count = int(state["steps"])
+            if self.deferred:
+                self.optimizer.counter[...] = state["counter"]
 
 
 class HybridStore(ParameterStore):

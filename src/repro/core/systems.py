@@ -40,6 +40,7 @@ in ``docs/architecture.md``.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -49,6 +50,7 @@ from ..cameras.camera import Camera
 from ..gaussians import GaussianModel, layout
 from ..render import frustum_cull, render, render_backward
 from ..render.culling import CullResult
+from ..render.parallel import PersistentPool, pool_fork_guard
 from ..sim.memory import ACTIVATION_BYTES_PER_PIXEL, MemoryTracker
 from ..train.loss import photometric_loss
 from .config import GSScaleConfig
@@ -177,6 +179,32 @@ def _cull_shard_task(args):
     means, log_scales, quats, camera = args
     res = frustum_cull(means, log_scales, quats, camera)
     return res.valid_ids, res.num_in_depth
+
+
+def locality_view_order(cameras: list[Camera]) -> np.ndarray:
+    """View schedule that keeps consecutive views spatially close.
+
+    Greedy nearest-neighbor walk over the camera centers, starting from
+    the first view. Out-of-core training pays one shard swap whenever the
+    active shard set changes; ordering views so neighbors share a
+    resident set amortizes each page-in over many views — the
+    ``OUTOFCORE_VIEW_LOCALITY`` assumption of ``sim/timeline.py``, made
+    real. Deterministic for a fixed camera list.
+    """
+    n = len(cameras)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    centers = np.stack([cam.center for cam in cameras])
+    remaining = np.ones(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    order[0] = 0
+    remaining[0] = False
+    for i in range(1, n):
+        d = np.linalg.norm(centers - centers[order[i - 1]], axis=1)
+        d[~remaining] = np.inf
+        order[i] = int(np.argmin(d))
+        remaining[order[i]] = False
+    return order
 
 
 class TrainingSystem(ABC):
@@ -574,7 +602,9 @@ class ShardedGSScaleSystem(TrainingSystem):
     def _setup(self, model: GaussianModel) -> None:
         self._num_gaussians = model.num_gaussians
         cfg = self.config
-        self._pool = None
+        # the culling pool persists across densification rebuilds — only
+        # finalize() (or interpreter exit) tears it down
+        self._pool = getattr(self, "_pool", None)
         self.shard_rows = spatial_partition(model.means, cfg.num_shards)
         self.shard_trackers: list[MemoryTracker] = []
         self.shard_ledgers: list[TransferLedger] = []
@@ -631,25 +661,18 @@ class ShardedGSScaleSystem(TrainingSystem):
     def _shard_geometry(self, k: int):
         return self.store.stores[k].geometry()
 
-    def _get_pool(self):
+    def _get_pool(self) -> PersistentPool | None:
         if self.config.shard_workers <= 1 or self.num_shards <= 1:
             return None
         if self._pool is None:
-            import multiprocessing as mp
-
-            try:
-                ctx = mp.get_context("fork")
-            except ValueError:  # platform without fork: stay serial
-                return None
-            self._pool = ctx.Pool(
-                processes=min(self.config.shard_workers, self.num_shards)
+            self._pool = PersistentPool(
+                min(self.config.shard_workers, self.num_shards)
             )
         return self._pool
 
     def _close_pool(self) -> None:
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.close()
             self._pool = None
 
     def _count_visible(self, camera: Camera) -> int:
@@ -720,7 +743,9 @@ class ShardedGSScaleSystem(TrainingSystem):
         self._close_pool()
 
     def rebuild(self, model: GaussianModel) -> None:
-        self._close_pool()
+        # keep the pool: workers are stateless (geometry ships per call),
+        # and respawning K processes per densification dominated short
+        # runs before the pool became persistent
         super().rebuild(model)
 
     def __del__(self):
@@ -736,6 +761,110 @@ class ShardedGSScaleSystem(TrainingSystem):
             entries.append((f"shard{k}_geo", hybrid.children[0], rows))
             entries.append((f"shard{k}_host", hybrid.children[1], rows))
         return entries
+
+
+class _AsyncPrefetcher:
+    """Background leg of the out-of-core pipeline.
+
+    Given a hint of the next view, a daemon thread predicts its active
+    shards (a cull over the device-resident geometry) and snapshots the
+    spilled ones into host buffers (:meth:`~repro.core.stores.DiskStore.
+    preload`) while the training thread renders the *current* view — the
+    TideGS-style overlap of page traffic with compute. The snapshots are
+    double-buffered: nothing is installed into any store until the
+    training thread reaches the next view's prefetch point and adopts
+    them there, so store state, trackers, and the ledger only ever mutate
+    on the training thread, and a stale prediction (the geometry moved, a
+    racing spill) degrades to the ordinary synchronous page-in. One job
+    is in flight at a time.
+    """
+
+    def __init__(self, system: "OutOfCoreGSScaleSystem"):
+        self._system = system
+        self._camera: Camera | None = None
+        self._result: tuple[Camera | None, dict] = (None, {})
+        #: host bytes of the staged double buffer, current and high-water
+        #: (kept here, not on a MemoryTracker: trackers are training-
+        #: thread-only, and the buffers are owned by this thread until
+        #: adoption — the sim's ``staging_shards`` term models them)
+        self.staged_bytes = 0
+        self.peak_staged_bytes = 0
+        self._have_job = threading.Event()
+        self._done = threading.Event()
+        self._done.set()
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._run, name="gsscale-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    def schedule(self, camera: Camera) -> None:
+        """Start prefetching for ``camera`` (waits out any running job)."""
+        if self._stop:
+            return
+        self._done.wait()
+        self._camera = camera
+        self._done.clear()
+        self._have_job.set()
+
+    def take(self, camera: Camera) -> tuple[bool, dict]:
+        """``(matched, buffers)`` for ``camera``.
+
+        ``matched`` says a staging job ran for exactly this view — the
+        denominator of any hit/miss accounting. Buffers staged for a
+        different view are discarded.
+        """
+        self._done.wait()
+        hinted, buffers = self._result
+        self._result = (None, {})
+        self.staged_bytes = 0
+        if hinted is camera:
+            return True, buffers
+        return False, {}
+
+    def close(self) -> None:
+        """Stop the worker thread (idempotent)."""
+        self._stop = True
+        self._have_job.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while True:
+            self._have_job.wait()
+            self._have_job.clear()
+            if self._stop:
+                self._done.set()
+                return
+            camera = self._camera
+            try:
+                # fork guard: a parallel-raster pool must never fork
+                # while this thread is mid-read (inherited half-held
+                # locks would wedge the child workers)
+                with pool_fork_guard:
+                    buffers = self._prepare(camera)
+            except Exception:
+                buffers = {}  # a failed prefetch is just a cache miss
+            self._result = (camera, buffers)
+            self._done.set()
+
+    def _prepare(self, camera: Camera) -> dict:
+        system = self._system
+        active = [
+            k
+            for k in range(system.num_shards)
+            if frustum_cull(*system._shard_geometry(k), camera).num_visible
+        ]
+        buffers = {}
+        for k in active[: system.resident_set.budget]:
+            pre = system._nongeo_store(k).preload()
+            if pre is not None:
+                buffers[k] = pre
+        # fp32-equivalent units, like every MemoryTracker in the repo
+        self.staged_bytes = sum(
+            system._nongeo_store(k)._state_bytes() for k in buffers
+        )
+        self.peak_staged_bytes = max(self.peak_staged_bytes, self.staged_bytes)
+        return buffers
 
 
 class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
@@ -775,7 +904,38 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
         self.host_memory = MemoryTracker()
         self.resident_set = ResidentSet(cfg.resident_shards)
         self._cull_cache: tuple[Camera, CullResult] | None = None
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
+        self._pending_hint: Camera | None = None
+        self._close_prefetcher()  # rebuild: the old thread targets old stores
+        self._prefetch_staged_peak = 0  # rebuild resets accounting, like trackers
+        self._prefetcher = _AsyncPrefetcher(self) if cfg.async_prefetch else None
         super()._setup(model)
+
+    @property
+    def prefetch_staged_peak_bytes(self) -> int:
+        """High-water host bytes of the async leg's staged double buffer.
+
+        Not part of ``host_memory`` (the installed working set the
+        resident budget bounds): the buffers belong to the background
+        thread until adoption. The modeled counterpart is the
+        ``staging_shards`` term of
+        :func:`repro.sim.memory.outofcore_host_state_bytes` — add the
+        two when sizing host DRAM for an async run.
+        """
+        if self._prefetcher is None:
+            return self._prefetch_staged_peak
+        return max(self._prefetch_staged_peak, self._prefetcher.peak_staged_bytes)
+
+    def _close_prefetcher(self) -> None:
+        prefetcher = getattr(self, "_prefetcher", None)
+        if prefetcher is not None:
+            self._prefetch_staged_peak = max(
+                getattr(self, "_prefetch_staged_peak", 0),
+                prefetcher.peak_staged_bytes,
+            )
+            prefetcher.close()
+            self._prefetcher = None
 
     def _make_nongeo_store(
         self,
@@ -813,16 +973,34 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
             if frustum_cull(*self._shard_geometry(k), camera).num_visible
         ]
 
+    def hint_next_view(self, camera: Camera) -> None:
+        """Tell the async prefetch leg which view comes next.
+
+        With ``async_prefetch`` on, the next :meth:`step` kicks off a
+        background worker that snapshots that view's spilled shards while
+        the current view renders; the step after adopts the buffers
+        instead of stalling on the disk read. Without the async leg this
+        is a no-op, so callers can hint unconditionally (the
+        :class:`~repro.core.trainer.Trainer` does).
+        """
+        if self._prefetcher is not None:
+            self._pending_hint = camera
+
     def prefetch(self, camera: Camera) -> list[int]:
         """Page in the view's active shards (up to the resident budget).
 
-        Models the asynchronous next-view prefetch of a real out-of-core
-        pipeline: by the time staging runs, the active working set is
-        already host-resident. The whole-view cull this needs (run
-        through the ``shard_workers`` pool when enabled) is cached and
-        reused by the step's own region planning, so prefetching adds no
-        culling work.
+        The synchronous anchor of the pipeline: whatever the async leg
+        managed to stage for ``camera`` is adopted here (same ledger
+        records, same accounting — the read already happened off the
+        critical path); everything else pages in on demand. The
+        whole-view cull this needs (run through the ``shard_workers``
+        pool when enabled) is cached and reused by the step's own region
+        planning, so prefetching adds no culling work.
         """
+        if self._prefetcher is not None:
+            hinted, staged = self._prefetcher.take(camera)
+        else:
+            hinted, staged = False, {}
         whole = super()._cull(camera)
         self._cull_cache = (camera, whole)
         active = [
@@ -831,7 +1009,23 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
             if self.store._members(whole.valid_ids, rows)[0].size
         ]
         for k in active[: self.resident_set.budget]:
-            self._nongeo_store(k).page_in()
+            store = self._nongeo_store(k)
+            pre = staged.pop(k, None)
+            if pre is not None and store.adopt(pre):
+                self.prefetch_hits += 1
+                continue
+            # a miss only when the async leg had its chance: a staging
+            # job ran for this very view and still failed to cover the
+            # shard (stale snapshot, wrong prediction, racing spill)
+            if hinted and not store.is_resident:
+                self.prefetch_misses += 1
+            store.page_in()
+        # this view's working set is settled: start staging the hinted
+        # next view in the background, overlapped with the render
+        if self._prefetcher is not None and self._pending_hint is not None:
+            nxt, self._pending_hint = self._pending_hint, None
+            if nxt is not camera:
+                self._prefetcher.schedule(nxt)
         return active
 
     def _cull(self, camera: Camera) -> CullResult:
@@ -857,6 +1051,17 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
             self._cull_cache = None  # geometry mutates at step end
         self.spill_inactive(active)
         return report
+
+    def finalize(self) -> None:
+        self._close_prefetcher()
+        super().finalize()
+
+    def __del__(self):
+        try:
+            self._close_prefetcher()
+        except Exception:
+            pass
+        super().__del__()
 
 
 def create_system(model: GaussianModel, config: GSScaleConfig) -> TrainingSystem:

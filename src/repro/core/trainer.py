@@ -17,7 +17,12 @@ from ..gaussians import GaussianModel
 from ..metrics import perceptual_distance, psnr, ssim
 from ..render import render
 from .config import GSScaleConfig
-from .systems import StepReport, TrainingSystem, create_system
+from .systems import (
+    StepReport,
+    TrainingSystem,
+    create_system,
+    locality_view_order,
+)
 
 
 @dataclass
@@ -124,6 +129,7 @@ class Trainer:
         images: list[np.ndarray],
         iterations: int,
         shuffle: bool = False,
+        view_order: str = "sequential",
     ) -> TrainingHistory:
         """Run ``iterations`` training steps cycling through the views.
 
@@ -132,20 +138,43 @@ class Trainer:
             images: matching ground-truth images.
             iterations: total optimizer steps.
             shuffle: randomize view order each epoch (seeded).
+            view_order: ``"sequential"`` cycles views as given;
+                ``"locality"`` reorders each epoch with
+                :func:`~repro.core.systems.locality_view_order` so
+                consecutive views share a resident shard set — the
+                schedule that amortizes the out-of-core system's page-ins
+                (and that the sim's ``OUTOFCORE_VIEW_LOCALITY`` models).
+                Mutually exclusive with ``shuffle``.
         """
         if len(cameras) != len(images):
             raise ValueError("cameras and images must align")
         if not cameras:
             raise ValueError("need at least one training view")
+        if view_order not in ("sequential", "locality"):
+            raise ValueError(
+                f"unknown view_order {view_order!r}; choose "
+                "'sequential' or 'locality'"
+            )
+        if shuffle and view_order != "sequential":
+            raise ValueError("shuffle and view_order are mutually exclusive")
         history = TrainingHistory()
         rng = np.random.default_rng(self.config.seed)
-        order = np.arange(len(cameras))
+        if view_order == "locality":
+            order = locality_view_order(cameras)
+        else:
+            order = np.arange(len(cameras))
+        hints = hasattr(self.system, "hint_next_view")
 
         for it in range(iterations):
             pos = it % len(cameras)
             if pos == 0 and shuffle:
                 rng.shuffle(order)
             view = order[pos]
+            if hints and it + 1 < iterations:
+                # overlap leg: let the system stage the next view's
+                # shards while this view renders (exact for the steady
+                # in-epoch case; a wrong guess is only a cache miss)
+                self.system.hint_next_view(cameras[order[(it + 1) % len(cameras)]])
             report = self.system.step(cameras[view], images[view])
             history.steps.append(report)
             if self._controller is not None:

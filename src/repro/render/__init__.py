@@ -1,9 +1,12 @@
 """Differentiable 3DGS renderer: culling, projection, rasterization, backward.
 
-Three interchangeable rasterization backends are available through
+Four interchangeable rasterization backends are available through
 ``RasterConfig.engine`` (see ``docs/raster_engines.md``): the per-splat
-``reference`` loop, the ``tiled`` loop, and the flat intersection-sorted
-``vectorized`` engine.
+``reference`` loop, the ``tiled`` loop, the flat intersection-sorted
+``vectorized`` engine, and the multi-core tile-span ``parallel`` engine
+(``RasterConfig.workers`` processes over a persistent shared-memory
+pool). ``RasterConfig.dtype="float32"`` selects the inference fast path
+of the flat engines.
 """
 
 from . import backward, culling, engine, projection, rasterize, tiles
@@ -13,13 +16,21 @@ from .engine import (
     rasterize_vectorized,
     tile_intersections,
 )
+from .parallel import (
+    PersistentPool,
+    rasterize_backward_parallel,
+    rasterize_parallel,
+    shutdown_raster_pools,
+)
 from .pipeline import RenderBackwardResult, RenderResult, render, render_backward
-from .rasterize import ENGINES, RasterConfig
-from .tiles import TileBinning, bin_gaussians, rasterize_tiled
+from .rasterize import ENGINES, RASTER_DTYPES, RasterConfig
+from .tiles import TileBinning, bin_gaussians, partition_spans, rasterize_tiled
 
 __all__ = [
     "CullResult",
     "ENGINES",
+    "PersistentPool",
+    "RASTER_DTYPES",
     "RasterConfig",
     "RenderBackwardResult",
     "RenderResult",
@@ -29,13 +40,17 @@ __all__ = [
     "culling",
     "engine",
     "frustum_cull",
+    "partition_spans",
     "projection",
     "rasterize",
+    "rasterize_backward_parallel",
     "rasterize_backward_vectorized",
+    "rasterize_parallel",
     "rasterize_tiled",
     "rasterize_vectorized",
     "render",
     "render_backward",
+    "shutdown_raster_pools",
     "tile_intersections",
     "tiles",
 ]

@@ -71,7 +71,7 @@ _LOG2E = float(np.log2(np.e))
 def get_forward(engine: str):
     """Forward rasterizer callable for an engine name.
 
-    All three share the signature of :func:`repro.render.rasterize.rasterize`.
+    All four share the signature of :func:`repro.render.rasterize.rasterize`.
     """
     if engine == "reference":
         return rasterize
@@ -81,6 +81,10 @@ def get_forward(engine: str):
         return tiles.rasterize_tiled
     if engine == "vectorized":
         return rasterize_vectorized
+    if engine == "parallel":
+        from . import parallel  # imported lazily: parallel imports this module
+
+        return parallel.rasterize_parallel
     raise ValueError(f"unknown raster engine {engine!r}")
 
 
@@ -95,7 +99,28 @@ def get_backward(engine: str):
         return rasterize_backward
     if engine == "vectorized":
         return rasterize_backward_vectorized
+    if engine == "parallel":
+        from . import parallel
+
+        return parallel.rasterize_backward_parallel
     raise ValueError(f"unknown raster engine {engine!r}")
+
+
+def resolve_dtype(config: RasterConfig, *arrays):
+    """Cast float inputs to ``config.dtype`` (no-op when unset).
+
+    Returns the cast arrays in order. Integer decisions (bboxes, tile
+    assignment) are made from the original full-precision inputs by the
+    callers, so the fast path changes arithmetic precision only — never
+    which pairs exist.
+    """
+    if config.dtype is None:
+        return arrays
+    dtype = np.dtype(config.dtype)
+    return tuple(
+        a if a is None or a.dtype == dtype else a.astype(dtype)
+        for a in arrays
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -214,18 +239,8 @@ class _PairTable:
     nz: np.ndarray  # (S,) pixel id per segment
 
 
-def _build_pairs(
-    means2d, conics, opacities, bboxes, order, width, height, config, tile_size
-) -> _PairTable:
-    """Expand, evaluate, compact, and pixel-sort all splat-pixel pairs.
-
-    The Gaussian exponent over one pixel row is a quadratic in x alone, so
-    everything except the final ``(m_a*dx - r_bdy)*dx + r_y`` evaluation is
-    folded into per-row constants — the hot pair-level loop is a few
-    ``np.repeat`` broadcasts, four arithmetic passes, and one ``exp2``.
-    """
-    dtype = means2d.dtype
-    empty = _PairTable(
+def _empty_pairs(dtype) -> _PairTable:
+    return _PairTable(
         pixel=np.empty(0, dtype=np.int64),
         sid=np.empty(0, dtype=np.int64),
         alpha=np.empty(0, dtype=dtype),
@@ -233,13 +248,15 @@ def _build_pairs(
         counts=np.empty(0, dtype=np.int64),
         nz=np.empty(0, dtype=np.int64),
     )
-    tile_ids, sid_isect, tiles_x, _ = tile_intersections(
-        bboxes, width, height, tile_size, order=order
-    )
-    if tile_ids.size == 0:
-        return empty
 
-    # clip each splat bbox to its tile: the pixel rect of one intersection
+
+def clip_isect_rects(bboxes, tile_ids, sid_isect, tiles_x, tile_size):
+    """Per-intersection pixel rects: each splat bbox clipped to its tile.
+
+    Returns ``(rx0, rx1, ry0, ry1)`` half-open bounds, one entry per row
+    of the intersection table. The rect areas are the pre-compaction pair
+    counts — the load measure the parallel engine partitions spans by.
+    """
     bb = bboxes[sid_isect]
     tpx = (tile_ids % tiles_x) * tile_size
     tpy = (tile_ids // tiles_x) * tile_size
@@ -247,6 +264,48 @@ def _build_pairs(
     rx1 = np.minimum(bb[:, 1], tpx + tile_size)
     ry0 = np.maximum(bb[:, 2], tpy)
     ry1 = np.minimum(bb[:, 3], tpy + tile_size)
+    return rx0, rx1, ry0, ry1
+
+
+def _build_pairs(
+    means2d, conics, opacities, bboxes, order, width, height, config, tile_size
+) -> _PairTable:
+    """Expand, evaluate, compact, and pixel-sort all splat-pixel pairs."""
+    tile_ids, sid_isect, tiles_x, _ = tile_intersections(
+        bboxes, width, height, tile_size, order=order
+    )
+    if tile_ids.size == 0:
+        return _empty_pairs(means2d.dtype)
+    return pairs_for_isects(
+        means2d, conics, opacities, bboxes, tile_ids, sid_isect, tiles_x,
+        width, height, config, tile_size,
+    )
+
+
+def pairs_for_isects(
+    means2d, conics, opacities, bboxes, tile_ids, sid_isect, tiles_x,
+    width, height, config, tile_size,
+) -> _PairTable:
+    """Splat-pixel pairs of a (possibly sliced) intersection table.
+
+    The Gaussian exponent over one pixel row is a quadratic in x alone, so
+    everything except the final ``(m_a*dx - r_bdy)*dx + r_y`` evaluation is
+    folded into per-row constants — the hot pair-level loop is a few
+    ``np.repeat`` broadcasts, four arithmetic passes, and one ``exp2``.
+    A pixel's segment is contained in one tile, so any contiguous tile
+    span of the table yields complete, composable segments — which is what
+    lets :mod:`repro.render.parallel` run disjoint spans on separate
+    cores.
+    """
+    dtype = means2d.dtype
+    empty = _empty_pairs(dtype)
+    if tile_ids.size == 0:
+        return empty
+
+    # clip each splat bbox to its tile: the pixel rect of one intersection
+    rx0, rx1, ry0, ry1 = clip_isect_rects(
+        bboxes, tile_ids, sid_isect, tiles_x, tile_size
+    )
     heights = ry1 - ry0
     widths = rx1 - rx0
     area = widths * heights
@@ -285,9 +344,16 @@ def _build_pairs(
     r_pix += base
 
     # --- pair expansion ---------------------------------------------------
+    # (the index arithmetic stays float64-exact; the float32 fast path
+    # casts only the per-row constants, so the hot passes run in `dtype`)
+    if dtype != np.float64:
+        m_a = m_a.astype(dtype)
+        r_bdy = r_bdy.astype(dtype)
+        r_y = r_y.astype(dtype)
     n_cells = int(w_row.sum())
     dx = np.arange(n_cells, dtype=np.float64)
     dx += np.repeat(r_dx, w_row)
+    dx = dx.astype(dtype, copy=False)
     q = np.repeat(m_a, area) * dx
     q -= np.repeat(r_bdy, w_row)
     q *= dx
@@ -374,13 +440,17 @@ def rasterize_vectorized(
     """Fully vectorized compositor; same contract as
     :func:`repro.render.rasterize.rasterize`."""
     config = _check_config(config)
+    # integer decisions (depth order, bboxes) use the full-precision inputs
+    order = np.argsort(depths, kind="stable")
+    bboxes = config_bboxes(means2d, radii, width, height, config)
+    means2d, conics, colors, opacities = resolve_dtype(
+        config, means2d, conics, colors, opacities
+    )
     dtype = means2d.dtype
     if background is None:
         background = np.zeros(3, dtype=dtype)
     background = np.asarray(background, dtype=dtype)
 
-    order = np.argsort(depths, kind="stable")
-    bboxes = config_bboxes(means2d, radii, width, height, config)
     pairs = _build_pairs(
         means2d, conics, opacities, bboxes, order, width, height, config,
         tile_size,
@@ -424,6 +494,9 @@ def rasterize_backward_vectorized(
     """Vectorized adjoint of :func:`rasterize_vectorized`; same contract as
     :func:`repro.render.backward.rasterize_backward`."""
     config = _check_config(config)
+    means2d, conics, colors, opacities = resolve_dtype(
+        config, means2d, conics, colors, opacities
+    )
     dtype = means2d.dtype
     height, width = grad_image.shape[:2]
     if background is None:

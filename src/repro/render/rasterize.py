@@ -22,8 +22,14 @@ ALPHA_MAX = 0.99
 #: Selectable rasterization backends (see ``docs/raster_engines.md``):
 #: ``reference`` is the per-splat loop in this module, ``tiled`` the
 #: tile-binned loop in :mod:`repro.render.tiles`, ``vectorized`` the flat
-#: intersection-sorted engine in :mod:`repro.render.engine`.
-ENGINES = ("reference", "tiled", "vectorized")
+#: intersection-sorted engine in :mod:`repro.render.engine`, and
+#: ``parallel`` the multi-core tile-span pool in
+#: :mod:`repro.render.parallel`.
+ENGINES = ("reference", "tiled", "vectorized", "parallel")
+
+#: Compute dtypes the vectorized/parallel engines accept for
+#: ``RasterConfig.dtype`` (``None`` keeps the input arrays' dtype).
+RASTER_DTYPES = ("float32", "float64")
 
 
 @dataclass
@@ -40,20 +46,40 @@ class RasterConfig:
             discontinuity of the integer bbox, which finite-difference
             gradient checks would otherwise trip over.
         engine: which rasterization backend executes the forward/backward
-            passes; one of :data:`ENGINES`. All three produce the same
-            output (the loop engines bitwise, ``vectorized`` to ~1e-12);
-            ``vectorized`` is much faster past a few hundred splats.
+            passes; one of :data:`ENGINES`. All four produce the same
+            output (the loop engines bitwise, ``vectorized``/``parallel``
+            to ~1e-12); the flat engines are much faster past a few
+            hundred splats.
+        workers: worker-process count of the ``parallel`` engine. ``0``/``1``
+            run the tile-span pipeline in-process (no pool); ``>= 2`` ship
+            spans to a persistent multiprocessing pool via shared memory.
+            Ignored by the other engines.
+        dtype: compute dtype of the vectorized/parallel engines — one of
+            :data:`RASTER_DTYPES`, or ``None`` to keep the input dtype.
+            ``"float32"`` is the inference fast path: pair-level arithmetic
+            (the exp2/scan hot loops) runs in single precision, roughly
+            halving memory traffic, at ~1e-4 image tolerance. The loop
+            engines ignore it (they are correctness oracles).
     """
 
     alpha_min: float = ALPHA_MIN
     alpha_max: float = ALPHA_MAX
     full_image_splats: bool = False
     engine: str = "reference"
+    workers: int = 0
+    dtype: str | None = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown raster engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.dtype is not None and self.dtype not in RASTER_DTYPES:
+            raise ValueError(
+                f"unknown raster dtype {self.dtype!r}; choose from "
+                f"{RASTER_DTYPES} or None"
             )
 
 

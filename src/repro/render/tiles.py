@@ -35,8 +35,54 @@ __all__ = [
     "TILE_SIZE",
     "TileBinning",
     "bin_gaussians",
+    "partition_spans",
     "rasterize_tiled",
 ]
+
+
+def partition_spans(
+    tile_ids: np.ndarray, weights: np.ndarray, num_spans: int
+) -> list[tuple[int, int]]:
+    """Cut a tile-sorted intersection table into load-balanced spans.
+
+    Spans are contiguous index ranges ``[start, stop)`` whose boundaries
+    fall only between tiles — a pixel's blend segment lives entirely in
+    one tile, so every span composites independently. Balance is by the
+    per-intersection ``weights`` (pair counts, i.e. clipped-rect areas),
+    not by tile counts: a handful of screen-filling splats would otherwise
+    starve all but one worker.
+
+    Args:
+        tile_ids: ascending tile id per intersection (the sort order of
+            :func:`repro.render.engine.tile_intersections`).
+        weights: non-negative per-intersection load estimate.
+        num_spans: target span count; fewer are returned when the table
+            has fewer tiles.
+
+    Returns:
+        At most ``num_spans`` non-empty ``(start, stop)`` pairs covering
+        ``[0, len(tile_ids))`` in order.
+    """
+    n = int(tile_ids.size)
+    if n == 0:
+        return []
+    if num_spans <= 1:
+        return [(0, n)]
+    bounds = np.flatnonzero(np.diff(tile_ids)) + 1  # legal cut positions
+    if bounds.size == 0:
+        return [(0, n)]
+    cum = np.cumsum(weights, dtype=np.float64)
+    targets = cum[-1] * np.arange(1, num_spans) / num_spans
+    # first legal cut at or past each target load
+    picks = bounds[
+        np.minimum(
+            np.searchsorted(cum[bounds - 1], targets), bounds.size - 1
+        )
+    ]
+    edges = np.unique(np.concatenate([[0], picks, [n]]))
+    return [
+        (int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a
+    ]
 
 
 @dataclass

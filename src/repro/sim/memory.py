@@ -231,20 +231,29 @@ def outofcore_host_state_bytes(
     num_gaussians: int,
     num_shards: int = DEFAULT_OUTOFCORE_SHARDS,
     resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+    staging_shards: int = 0,
 ) -> int:
     """Host DRAM floor of the out-of-core system.
 
     Only the resident shards' non-geometric training state occupies host
     memory; the defer counters of *every* shard stay resident (1 byte per
     Gaussian — they are what lets a spilled shard tick without paging).
+    ``staging_shards`` adds the async prefetch leg's double buffer: while
+    the current view renders, up to that many preloaded shard snapshots
+    (parameters + both Adam moments, no gradients) sit in host memory
+    waiting to be adopted.
     """
     if not 1 <= resident_shards:
         raise ValueError("resident_shards must be >= 1")
+    if staging_shards < 0:
+        raise ValueError("staging_shards must be >= 0")
     per_shard = -(-num_gaussians // num_shards)  # ceil: worst shards
     resident_rows = min(resident_shards, num_shards) * per_shard
     state = layout.train_state_bytes(resident_rows, layout.NON_GEOMETRIC_DIM)
+    staging_rows = min(staging_shards, num_shards) * per_shard
+    staging = 3 * layout.param_bytes(staging_rows, layout.NON_GEOMETRIC_DIM)
     counters = num_gaussians
-    return state + counters
+    return state + staging + counters
 
 
 def disk_state_bytes(
@@ -283,6 +292,9 @@ def host_state_bytes(num_gaussians: int, system: str) -> int:
         return state + counters
     if system == "outofcore":
         return outofcore_host_state_bytes(num_gaussians)
+    if system == "outofcore_async":
+        # the overlap leg double-buffers one shard's pageable state
+        return outofcore_host_state_bytes(num_gaussians, staging_shards=1)
     raise ValueError(f"unknown system {system!r}")
 
 
