@@ -1,0 +1,160 @@
+"""Throughput benchmarks of the render-serving subsystem.
+
+Two parts:
+
+* ``test_farm_throughput_speedup`` — the PR acceptance gate: batched
+  multi-worker serving must reach >= 2x the requests/sec of
+  single-request serving on the same trace (skips below 4 cores; wall-
+  clock gates are meaningless on oversubscribed runners).
+* ``test_serve_throughput_matrix`` — a workers x LOD x cache matrix
+  written to ``benchmarks/out/BENCH_serve.json``, the serving-side perf
+  trajectory the CI ``perf-smoke`` job uploads (``GSSCALE_BENCH_QUICK=1``
+  shrinks it; no speedup asserted there).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.cameras import trajectories
+from repro.datasets.synthetic import SyntheticSceneConfig, generate_point_cloud
+from repro.gaussians import GaussianModel
+from repro.render import shutdown_raster_pools
+from repro.serve import LODSet, RenderService, requests_from_cameras
+
+QUICK = os.environ.get("GSSCALE_BENCH_QUICK", "") not in ("", "0")
+
+
+def serving_model(num_points: int) -> GaussianModel:
+    """A serving-side model only (no ground-truth captures rendered)."""
+    points, colors = generate_point_cloud(
+        SyntheticSceneConfig(num_points=num_points, extent=10.0, seed=21)
+    )
+    return GaussianModel.from_point_cloud(
+        points, colors, initial_opacity=0.6, scale_multiplier=1.2
+    )
+
+
+def client_trace(num_requests: int, resolution: int, lod: int = 0):
+    """Distinct orbit poses (no dedupe, no cache reuse between them)."""
+    cams = trajectories.orbit(
+        np.zeros(3), radius=12.0, height=8.0, num_cameras=num_requests,
+        width=resolution, height_px=resolution, fov_x_deg=70.0,
+    )
+    return requests_from_cameras(cams, lod=lod)
+
+
+def measure_requests_per_s(service, requests, repeats: int = 1) -> float:
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        responses = service.serve(list(requests))
+        dt = time.perf_counter() - t0
+        assert len(responses) == len(requests)
+        best = max(best, len(requests) / dt)
+    return best
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="farm speedup gate needs >= 4 cores"
+)
+def test_farm_throughput_speedup(benchmark):
+    """Acceptance gate: 4 farm workers >= 2x serial requests/sec."""
+    model = serving_model(6_000 if QUICK else 30_000)
+    requests = client_trace(8 if QUICK else 16, 96 if QUICK else 160)
+
+    def compare():
+        serial = RenderService(model, cache_bytes=0, workers=0)
+        try:
+            serial_rps = measure_requests_per_s(serial, requests)
+        finally:
+            serial.close()
+        farmed = RenderService(model, cache_bytes=0, workers=4)
+        try:
+            farmed.serve(list(requests[:4]))  # spawn + warm the pool
+            farmed_rps = measure_requests_per_s(farmed, requests)
+        finally:
+            farmed.close()
+        return farmed_rps / serial_rps
+
+    speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert speedup >= 2.0, f"farm speedup only {speedup:.2f}x"
+    shutdown_raster_pools()
+
+
+def test_serve_throughput_matrix(benchmark):
+    """Workers x LOD x cache serving matrix -> BENCH_serve.json."""
+    num_points = 2_000 if QUICK else 12_000
+    resolution = 64 if QUICK else 128
+    num_requests = 6 if QUICK else 12
+    worker_axis = (0, 2) if QUICK else (0, 2, 4)
+
+    model = serving_model(num_points)
+    lod_set = LODSet.build(model.params)
+
+    def run_matrix():
+        entries = []
+        for workers in worker_axis:
+            if workers > (os.cpu_count() or 1):
+                continue
+            for lod in (0, 2):
+                service = RenderService(
+                    model, lod_set=lod_set, cache_bytes=0, workers=workers
+                )
+                try:
+                    requests = client_trace(num_requests, resolution, lod=lod)
+                    if workers >= 2:
+                        service.serve(list(requests[:workers]))  # warm pool
+                    rps = measure_requests_per_s(service, requests)
+                finally:
+                    service.close()
+                entries.append({
+                    "workers": workers,
+                    "lod": lod,
+                    "keep_fraction": lod_set.levels[lod].keep_fraction,
+                    "requests": num_requests,
+                    "requests_per_s": rps,
+                })
+        # cached pass: the second identical trace is all hits
+        service = RenderService(model, lod_set=lod_set, workers=0)
+        try:
+            requests = client_trace(num_requests, resolution)
+            service.serve(list(requests))
+            rps = measure_requests_per_s(service, requests)
+            assert service.stats.cache_hits == len(requests)
+        finally:
+            service.close()
+        entries.append({
+            "workers": 0,
+            "lod": 0,
+            "keep_fraction": 1.0,
+            "requests": num_requests,
+            "requests_per_s": rps,
+            "cached": True,
+        })
+        return entries
+
+    entries = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    shutdown_raster_pools()
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "quick": QUICK,
+        "cpu_count": os.cpu_count(),
+        "model_points": num_points,
+        "resolution": f"{resolution}x{resolution}",
+        "entries": entries,
+    }
+    with open(os.path.join(out_dir, "BENCH_serve.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+    assert entries and all(e["requests_per_s"] > 0 for e in entries)
+    cached = [e for e in entries if e.get("cached")]
+    uncached = [
+        e for e in entries
+        if not e.get("cached") and e["workers"] == 0 and e["lod"] == 0
+    ]
+    # a cache hit must beat rendering, whatever the hardware
+    assert cached[0]["requests_per_s"] > uncached[0]["requests_per_s"]

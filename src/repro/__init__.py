@@ -7,7 +7,7 @@ and the performance simulator used to regenerate the paper's figures.
 """
 
 from . import bench, cameras, core, datasets, densify, gaussians, io, metrics
-from . import optim, render, sim, train
+from . import optim, render, serve, sim, train
 from .cameras import Camera
 from .core import (
     GSScaleConfig,
@@ -67,6 +67,7 @@ __all__ = [
     "psnr",
     "render",
     "render_backward",
+    "serve",
     "simulate_epoch",
     "sim",
     "ssim",

@@ -86,6 +86,67 @@ def aerial_grid(
     return cameras
 
 
+def walkthrough(
+    waypoints: np.ndarray,
+    num_cameras: int,
+    width: int = 128,
+    height_px: int = 128,
+    fov_x_deg: float = 60.0,
+    look_ahead: float = 1.0,
+    near: float = 0.01,
+    far: float = 1000.0,
+) -> list[Camera]:
+    """First-person walkthrough along a piecewise-linear waypoint path.
+
+    The client-session trajectory of the serving subsystem: cameras sit
+    at ``num_cameras`` evenly spaced arc-length stations along the
+    ``(W, 3)`` waypoint polyline, each looking at the point
+    ``look_ahead`` world units further down the path (the final cameras
+    keep looking along the last segment). Deterministic in its inputs.
+    """
+    waypoints = np.asarray(waypoints, dtype=np.float64)
+    if waypoints.ndim != 2 or waypoints.shape[1] != 3 or waypoints.shape[0] < 2:
+        raise ValueError("waypoints must be (W >= 2, 3)")
+    if num_cameras < 1:
+        raise ValueError("num_cameras must be >= 1")
+    if look_ahead <= 0:
+        raise ValueError("look_ahead must be > 0")
+    deltas = np.diff(waypoints, axis=0)
+    seg_len = np.linalg.norm(deltas, axis=1)
+    if not np.all(seg_len > 0):
+        raise ValueError("consecutive waypoints must be distinct")
+    stations = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = stations[-1]
+
+    def point_at(s: float) -> np.ndarray:
+        s = min(max(s, 0.0), total)
+        seg = min(int(np.searchsorted(stations, s, side="right")) - 1,
+                  len(seg_len) - 1)
+        t = (s - stations[seg]) / seg_len[seg]
+        return waypoints[seg] + t * deltas[seg]
+
+    end_dir = deltas[-1] / seg_len[-1]
+    cameras = []
+    for s in np.linspace(0.0, total, num_cameras):
+        pos = point_at(s)
+        if s + look_ahead <= total:
+            target = point_at(s + look_ahead)
+        else:  # past the end: keep facing along the final segment
+            target = pos + end_dir * look_ahead
+        cameras.append(
+            Camera.look_at(
+                pos,
+                target,
+                width=width,
+                height=height_px,
+                fov_x_deg=fov_x_deg,
+                near=near,
+                far=far,
+            )
+        )
+    return cameras
+
+
 def random_views(
     center: np.ndarray,
     radius_range: tuple[float, float],

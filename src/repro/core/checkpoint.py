@@ -18,6 +18,8 @@ the resident working set never exceeds the budget on either path.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..gaussians import GaussianModel, layout
@@ -99,19 +101,120 @@ def resume_model(path: str) -> GaussianModel:
     Reassembles the packed ``(N, 59)`` matrix from every store's column
     block and row ids, independent of the placement that produced it.
     """
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
-        n = int(data["num_gaussians"])
-        prefixes = [k[: -len("cols")] for k in data.files if k.endswith("cols")]
-        dtype = data[prefixes[0] + "params"].dtype
-        params = np.empty((n, layout.PARAM_DIM), dtype=dtype)
-        for p in prefixes:
-            start, stop = (int(c) for c in data[p + "cols"])
-            block = data[p + "params"]
-            if p + "rows" in data:
-                params[data[p + "rows"], start:stop] = block
-            else:
-                params[:, start:stop] = block
+    with CheckpointReader(path) as reader:
+        params = reader.assemble_columns(slice(0, layout.PARAM_DIM))
         return GaussianModel(params)
+
+
+@dataclass(frozen=True)
+class CheckpointBlockInfo:
+    """Location of one store's parameter block inside a checkpoint.
+
+    Attributes:
+        prefix: key prefix of the block's arrays (``""``, ``"geo_"``,
+            ``"shard3_host_"``, ...).
+        start, stop: packed-layout column range the block covers.
+        rows: global row ids of a sharded block, ``None`` for all rows.
+    """
+
+    prefix: str
+    start: int
+    stop: int
+    rows: np.ndarray | None
+
+
+class CheckpointReader:
+    """Read-only, block-at-a-time view of a checkpoint.
+
+    The serving subsystem opens trained — possibly spilled, larger-than-
+    host — checkpoints through this reader instead of
+    :func:`resume_model`: ``.npz`` members decompress lazily on access, so
+    iterating :meth:`iter_column_blocks` touches one store's block at a
+    time and the full packed ``(N, 59)`` matrix is never materialized.
+    Peak transient memory is bounded by the largest single block (one
+    shard's columns for sharded/out-of-core checkpoints).
+    """
+
+    def __init__(self, path: str):
+        self._data = np.load(path, allow_pickle=False)
+        version = int(self._data["version"])
+        if version != _FORMAT_VERSION:
+            self._data.close()
+            raise ValueError(f"unsupported checkpoint version {version}")
+        self.num_gaussians = int(self._data["num_gaussians"])
+        self.system = str(self._data["system"])
+        self.iteration = int(self._data["iteration"])
+        self._blocks = []
+        for key in self._data.files:
+            if not key.endswith("cols"):
+                continue
+            p = key[: -len("cols")]
+            start, stop = (int(c) for c in self._data[key])
+            rows = self._data[p + "rows"] if p + "rows" in self._data else None
+            self._blocks.append(CheckpointBlockInfo(p, start, stop, rows))
+        # deterministic order: by column range, then shard rows
+        self._blocks.sort(key=lambda b: (b.start, b.prefix))
+
+    def blocks(self) -> list[CheckpointBlockInfo]:
+        """Every stored block's location (no parameter data loaded)."""
+        return list(self._blocks)
+
+    def block_params(self, info: CheckpointBlockInfo) -> np.ndarray:
+        """Committed parameter values of one block (loads only it)."""
+        return np.asarray(self._data[info.prefix + "params"])
+
+    def iter_column_blocks(self, cols: slice):
+        """Yield ``(rows, col_slice, values)`` for blocks touching ``cols``.
+
+        ``rows`` are global row ids (``None`` means all rows in order),
+        ``col_slice`` the packed-layout columns covered, and ``values``
+        the matching slice of that block — loaded lazily, one block per
+        iteration, so callers can stream a column range into any layout
+        without holding more than one block.
+        """
+        for info in self._blocks:
+            lo = max(info.start, cols.start)
+            hi = min(info.stop, cols.stop)
+            if lo >= hi:
+                continue
+            block = self.block_params(info)
+            yield info.rows, slice(lo, hi), block[:, lo - info.start : hi - info.start]
+
+    def assemble_columns(self, cols: slice) -> np.ndarray:
+        """Materialize one packed-layout column range for all rows.
+
+        Bounded by ``N * (cols.stop - cols.start)`` output floats plus one
+        block of transient state; the serving store uses this for the
+        always-resident geometric columns (17% of the matrix).
+        """
+        out = None
+        covered = 0
+        for rows, csl, values in self.iter_column_blocks(cols):
+            if out is None:
+                out = np.empty(
+                    (self.num_gaussians, cols.stop - cols.start),
+                    dtype=values.dtype,
+                )
+            dst = slice(csl.start - cols.start, csl.stop - cols.start)
+            if rows is None:
+                out[:, dst] = values
+                covered += (csl.stop - csl.start) * self.num_gaussians
+            else:
+                out[rows, dst] = values
+                covered += (csl.stop - csl.start) * rows.size
+        want = (cols.stop - cols.start) * self.num_gaussians
+        if out is None or covered != want:
+            raise ValueError(
+                f"checkpoint does not cover columns [{cols.start}:{cols.stop})"
+            )
+        return out
+
+    def close(self) -> None:
+        """Release the underlying file handle."""
+        self._data.close()
+
+    def __enter__(self) -> "CheckpointReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

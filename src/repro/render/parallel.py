@@ -48,10 +48,11 @@ from .engine import (
     tile_intersections,
 )
 from .rasterize import RasterConfig, RasterResult, config_bboxes
-from .tiles import partition_spans
+from .tiles import adaptive_span_count, partition_spans
 
 __all__ = [
     "PersistentPool",
+    "get_raster_pool",
     "rasterize_parallel",
     "rasterize_backward_parallel",
     "shutdown_raster_pools",
@@ -166,7 +167,15 @@ class PersistentPool:
 _RASTER_POOLS: dict[int, PersistentPool] = {}
 
 
-def _raster_pool(workers: int) -> PersistentPool:
+def get_raster_pool(workers: int) -> PersistentPool:
+    """The shared persistent pool for ``workers`` processes.
+
+    One pool per worker count, shared by every consumer that fans
+    generic picklable tasks out — the tile-span raster engine and the
+    serving subsystem's render farm — so their worker processes are
+    pooled rather than duplicated. Torn down by
+    :func:`shutdown_raster_pools` or at interpreter exit.
+    """
     pool = _RASTER_POOLS.get(workers)
     if pool is None:
         pool = PersistentPool(workers)
@@ -422,7 +431,7 @@ def _run_spans(mode, arrays, spans, width, height, tiles_x, config, tile_size):
              tile_size)
             for s0, s1 in spans
         ]
-        return _raster_pool(workers).map(_span_task, tasks)
+        return get_raster_pool(workers).map(_span_task, tasks)
     finally:
         shm.close()
         shm.unlink()
@@ -471,7 +480,8 @@ def rasterize_parallel(
     trans = np.ones(n_pix, dtype=dtype)
     if tile_ids.size:
         spans = _plan_spans(
-            tile_ids, sid, bboxes, tiles_x, tile_size, max(config.workers, 1)
+            tile_ids, sid, bboxes, tiles_x, tile_size,
+            adaptive_span_count(config.workers),
         )
         arrays = {
             "means2d": means2d, "conics": conics, "colors": colors,
@@ -532,7 +542,7 @@ def rasterize_backward_parallel(
         return grads
     spans = _plan_spans(
         tile_ids, sid, result.bboxes, tiles_x, tile_size,
-        max(config.workers, 1),
+        adaptive_span_count(config.workers),
     )
     arrays = {
         "means2d": means2d, "conics": conics, "colors": colors,

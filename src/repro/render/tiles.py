@@ -32,12 +32,36 @@ from .rasterize import (
 )
 
 __all__ = [
+    "SPAN_OVERSUBSCRIPTION",
     "TILE_SIZE",
     "TileBinning",
+    "adaptive_span_count",
     "bin_gaussians",
     "partition_spans",
     "rasterize_tiled",
 ]
+
+#: Span-oversubscription factor of the parallel raster engine: the span
+#: planner cuts this many spans per worker instead of one. Pair-count
+#: balancing is only approximate (cuts land on tile boundaries, and the
+#: per-pair cost model ignores cache effects), so with one span per
+#: worker the slowest span sets the pass time; with ~3x spans the pool
+#: backfills finished workers and stragglers shrink to span granularity.
+SPAN_OVERSUBSCRIPTION = 3
+
+
+def adaptive_span_count(workers: int) -> int:
+    """Target span count for a ``workers``-process parallel raster pass.
+
+    ``workers <= 1`` runs in-process, where extra spans are pure overhead
+    (one span); pooled runs oversubscribe by
+    :data:`SPAN_OVERSUBSCRIPTION` for straggler smoothing.
+    :func:`partition_spans` may still return fewer spans when the
+    intersection table has fewer tiles.
+    """
+    if workers <= 1:
+        return 1
+    return workers * SPAN_OVERSUBSCRIPTION
 
 
 def partition_spans(

@@ -1,0 +1,53 @@
+"""Render-serving subsystem: batched multi-client inference.
+
+Turns a trained (possibly larger-than-host) model into a request-serving
+endpoint: read-only serving stores with out-of-core paging
+(:mod:`~repro.serve.store`), nested level-of-detail subsets
+(:mod:`~repro.serve.lod`), a pose-keyed frame cache
+(:mod:`~repro.serve.cache`), a multi-worker render farm
+(:mod:`~repro.serve.farm`), and the :class:`~repro.serve.service.\
+RenderService` that batches client requests across all of them. The
+modeled counterpart lives in :mod:`repro.sim.serve`; see the serving
+section of ``docs/architecture.md``.
+"""
+
+from .cache import FrameCache, frame_key
+from .farm import FrameTask, RenderFarm, render_frame
+from .lod import (
+    DEFAULT_LOD_LEVELS,
+    LODLevel,
+    LODSet,
+    lod_quality_report,
+    splat_importance,
+)
+from .service import (
+    RenderRequest,
+    RenderResponse,
+    RenderService,
+    ServeStats,
+    default_serve_raster_config,
+    requests_from_cameras,
+)
+from .store import InMemoryServingStore, PagedServingStore, ServingStore
+
+__all__ = [
+    "DEFAULT_LOD_LEVELS",
+    "FrameCache",
+    "FrameTask",
+    "InMemoryServingStore",
+    "LODLevel",
+    "LODSet",
+    "PagedServingStore",
+    "RenderFarm",
+    "RenderRequest",
+    "RenderResponse",
+    "RenderService",
+    "ServeStats",
+    "ServingStore",
+    "default_serve_raster_config",
+    "frame_key",
+    "lod_quality_report",
+    "render_frame",
+    "requests_from_cameras",
+    "splat_importance",
+]

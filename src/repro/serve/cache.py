@@ -1,0 +1,116 @@
+"""Pose-keyed frame cache: byte-budgeted LRU over rendered images.
+
+Serving traffic is heavily repetitive — orbit clients revisit poses,
+dashboards poll fixed viewpoints — so the cheapest render is the one not
+rendered. A :class:`FrameCache` maps a **frame key** (the exact camera
+pose + intrinsics + image size + LOD level + model version, hashed) to
+the composited image, evicting least-recently-used frames past a byte
+budget.
+
+The model version in the key is what makes hot-swapping safe: swapping
+the served model bumps the service's version, so every pre-swap key
+misses by construction, *and* the service flushes the cache eagerly so
+the stale frames' bytes are reclaimed immediately rather than aging out.
+A cached frame is marked read-only before it is stored — a client
+mutating a response cannot poison later hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..cameras.camera import Camera
+
+__all__ = ["FrameCache", "frame_key"]
+
+
+def frame_key(camera: Camera, lod: int, model_version: int) -> bytes:
+    """Exact-match cache key for one (pose, size, LOD, model) frame.
+
+    Byte-hashes the raw float fields — no rounding: two cameras produce
+    one key iff they render identical frames from an identical model.
+    """
+    parts = [
+        np.asarray(
+            [camera.width, camera.height, lod, model_version], dtype=np.int64
+        ).tobytes(),
+        np.asarray(
+            [camera.fx, camera.fy, camera.cx, camera.cy, camera.near, camera.far],
+            dtype=np.float64,
+        ).tobytes(),
+        camera.world_to_cam_rot.tobytes(),
+        camera.world_to_cam_trans.tobytes(),
+    ]
+    import hashlib
+
+    return hashlib.blake2b(b"".join(parts), digest_size=16).digest()
+
+
+class FrameCache:
+    """Byte-budgeted LRU cache of rendered frames.
+
+    Args:
+        capacity_bytes: total byte budget; frames larger than the budget
+            are never stored (they would evict everything for one entry).
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 1:
+            raise ValueError("cache capacity must be >= 1 byte")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self.live_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        """The cached frame for ``key`` (refreshing its recency), or None."""
+        image = self._entries.get(key)
+        if image is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return image
+
+    def put(self, key: bytes, image: np.ndarray) -> None:
+        """Insert a frame, evicting LRU entries past the byte budget.
+
+        Marks ``image`` read-only in place (every alias the caller hands
+        out shares the cached buffer).
+        """
+        if image.nbytes > self.capacity_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.live_bytes -= old.nbytes
+        while self.live_bytes + image.nbytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.live_bytes -= evicted.nbytes
+            self.evictions += 1
+        # freeze the array itself, not a view: the miss response aliases
+        # this buffer, so a mutable alias would poison later hits
+        image.flags.writeable = False
+        self._entries[key] = image
+        self.live_bytes += image.nbytes
+
+    def invalidate(self) -> int:
+        """Drop every cached frame (model swap); returns frames dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.live_bytes = 0
+        self.invalidations += 1
+        return dropped

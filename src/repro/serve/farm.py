@@ -1,0 +1,176 @@
+"""Multi-worker render farm: whole frames fanned out over the shared pool.
+
+The ``parallel`` raster engine splits *one* frame across cores; a serving
+tick has the opposite shape — many independent frames — so the farm ships
+each frame to its own worker process and keeps the per-frame pipeline
+single-core. Both fan-outs draw from the same
+:func:`~repro.render.parallel.get_raster_pool` registry of persistent
+pools, so a process that trains, serves, and benchmarks never holds two
+worker fleets for the same core count.
+
+The model reaches the workers the same way span tables reach the raster
+workers: :meth:`RenderFarm.publish` packs the packed parameter matrix and
+the LOD drop-level array into one shared-memory segment, and each task
+pickles only a camera plus a few scalars. Workers attach read-only, run
+:func:`render_frame` — the *same* function the service runs inline, so a
+farm frame is bit-identical to a single-process frame — and ship the
+composited image back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cameras.camera import Camera
+from ..gaussians.model import GaussianModel
+from ..render import frustum_cull, render
+from ..render.parallel import _pack_shm, _attach_shm, _shm_views, get_raster_pool
+from ..render.rasterize import RasterConfig
+from .store import InMemoryServingStore, ServingStore
+
+__all__ = ["FrameTask", "RenderFarm", "render_frame"]
+
+
+@dataclass(frozen=True)
+class FrameTask:
+    """One frame to render: pose + level + raster knobs."""
+
+    camera: Camera
+    lod: int
+    sh_degree: int
+    config: RasterConfig | None = None
+    background: np.ndarray | None = None
+
+
+def render_frame(
+    store: ServingStore,
+    drop_level: np.ndarray | None,
+    task: FrameTask,
+) -> np.ndarray:
+    """Render one frame from a serving store (the single serving path).
+
+    Culls against the store's resident geometry, restricts the visible
+    ids to the task's LOD subset (``drop_level > lod``; ``lod == 0`` or a
+    missing array keeps everything), gathers the packed rows, and
+    composites at the task's SH degree. Inline service renders and farm
+    workers both run exactly this function.
+    """
+    means, log_scales, quats = store.geometry()
+    cull = frustum_cull(means, log_scales, quats, task.camera)
+    ids = cull.valid_ids
+    if drop_level is not None and task.lod > 0:
+        ids = ids[drop_level[ids] > task.lod]
+    compact = GaussianModel(store.gather(ids))
+    return render(
+        compact,
+        task.camera,
+        sh_degree=task.sh_degree,
+        background=task.background,
+        valid_ids=np.arange(ids.size),
+        config=task.config,
+    ).image
+
+
+def _frame_task(args):
+    """Pool task: attach the published model, render one frame, detach."""
+    shm_name, metas, task = args
+    shm = _attach_shm(shm_name)
+    views = store = None
+    try:
+        views = _shm_views(shm, metas)
+        store = InMemoryServingStore(views["params"], copy=False)
+        image = render_frame(store, views.get("drop_level"), task)
+    finally:
+        del views, store  # drop buffer views so close() cannot see exports
+        shm.close()
+    return image
+
+
+class RenderFarm:
+    """Fan independent frames out over the shared persistent pool.
+
+    Args:
+        workers: worker-process count; ``<= 1`` renders every batch
+            inline (useful as a parity oracle for the pooled path).
+    """
+
+    def __init__(self, workers: int):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self._shm = None
+        self._metas = None
+        self._store: InMemoryServingStore | None = None
+        self._drop_level: np.ndarray | None = None
+
+    @property
+    def published(self) -> bool:
+        """Whether a model is currently published to the workers."""
+        return self._store is not None
+
+    def publish(
+        self, store: InMemoryServingStore, drop_level: np.ndarray | None
+    ) -> None:
+        """Make ``store`` the served model (replacing any previous one).
+
+        Packs the parameter matrix + LOD ranks into a fresh shared-memory
+        segment; the old segment is unlinked, so a hot swap leaks
+        nothing. ``drop_level=None`` serves every task at full detail
+        (no LOD filtering, whatever the task's ``lod``).
+        """
+        self.unpublish()
+        self._store = store
+        self._drop_level = (
+            None if drop_level is None
+            else np.asarray(drop_level, dtype=np.int16)
+        )
+        if self.workers >= 2:
+            arrays = {"params": store.params}
+            if self._drop_level is not None:
+                arrays["drop_level"] = self._drop_level
+            self._shm, self._metas = _pack_shm(arrays)
+
+    def unpublish(self) -> None:
+        """Release the published model's shared segment (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm.unlink()
+            self._shm = None
+            self._metas = None
+        self._store = None
+        self._drop_level = None
+
+    def render_batch(self, tasks: list[FrameTask]) -> list[np.ndarray]:
+        """Render every task, one worker per frame (inline below 2)."""
+        if self._store is None:
+            raise RuntimeError("no model published to the farm")
+        if self.workers <= 1 or len(tasks) <= 1:
+            return [
+                render_frame(self._store, self._drop_level, task)
+                for task in tasks
+            ]
+        pool = get_raster_pool(self.workers)
+        return pool.map(
+            _frame_task,
+            [(self._shm.name, self._metas, task) for task in tasks],
+        )
+
+    def close(self) -> None:
+        """Release the shared segment (the pooled workers are shared
+        process-level state, reaped by
+        :func:`~repro.render.parallel.shutdown_raster_pools`)."""
+        self.unpublish()
+
+    def __enter__(self) -> "RenderFarm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,405 @@
+"""RenderService: batched multi-client inference over a trained model.
+
+The serving vertical the training stack was missing: a
+:class:`RenderService` owns a read-only :class:`~repro.serve.store.\
+ServingStore` (in-memory, or :class:`~repro.serve.store.\
+PagedServingStore` for models over a host byte budget), an optional
+:class:`~repro.serve.lod.LODSet`, a pose-keyed
+:class:`~repro.serve.cache.FrameCache`, and an optional
+:class:`~repro.serve.farm.RenderFarm`. Clients :meth:`~RenderService.\
+submit` :class:`RenderRequest` objects; each :meth:`~RenderService.tick`
+drains the queue as one batch:
+
+1. resolve each request's camera (optional width/height override scales
+   the intrinsics) and frame key (pose + size + LOD + model version);
+2. serve cache hits;
+3. deduplicate the misses — identical frames wanted by many clients
+   render once;
+4. render the unique frames, fanned over the farm when it pays, inline
+   otherwise — always through :func:`~repro.serve.farm.render_frame`, so
+   a full-LOD served frame is bit-identical to a direct
+   :func:`repro.render.pipeline.render` call;
+5. fill the cache and answer every request in submission order.
+
+Serving defaults to the raster stack's inference fast path
+(``vectorized`` engine, ``dtype="float32"``). :meth:`~RenderService.\
+swap_model` hot-swaps the served model: the version bump plus an eager
+cache flush guarantee no post-swap request is ever answered with a
+pre-swap frame.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..cameras.camera import Camera
+from ..gaussians.model import GaussianModel
+from ..render.rasterize import RasterConfig
+from .cache import FrameCache, frame_key
+from .farm import FrameTask, RenderFarm, render_frame
+from .lod import LODSet
+from .store import InMemoryServingStore, PagedServingStore, ServingStore
+
+__all__ = [
+    "RenderRequest",
+    "RenderResponse",
+    "RenderService",
+    "ServeStats",
+    "default_serve_raster_config",
+    "requests_from_cameras",
+]
+
+
+def default_serve_raster_config() -> RasterConfig:
+    """Serving renders forward-only: the float32 fast path of the flat
+    vectorized engine is the default (training keeps full precision)."""
+    return RasterConfig(engine="vectorized", dtype="float32")
+
+
+@dataclass(frozen=True)
+class RenderRequest:
+    """One client's frame request.
+
+    Attributes:
+        camera: requested viewpoint (pose + intrinsics).
+        width, height: optional output-size override; the camera's
+            intrinsics are rescaled proportionally (``None`` keeps the
+            camera's own size).
+        lod: level-of-detail index into the service's LOD set
+            (0 = full detail).
+    """
+
+    camera: Camera
+    width: int | None = None
+    height: int | None = None
+    lod: int = 0
+
+    def resolved_camera(self) -> Camera:
+        """The camera actually rendered (size override applied)."""
+        if self.width is None and self.height is None:
+            return self.camera
+        width = self.width if self.width is not None else self.camera.width
+        height = self.height if self.height is not None else self.camera.height
+        if width < 1 or height < 1:
+            raise ValueError(f"invalid request size {width}x{height}")
+        if width == self.camera.width and height == self.camera.height:
+            return self.camera
+        sx = width / self.camera.width
+        sy = height / self.camera.height
+        return replace(
+            self.camera,
+            width=width,
+            height=height,
+            fx=self.camera.fx * sx,
+            fy=self.camera.fy * sy,
+            cx=self.camera.cx * sx,
+            cy=self.camera.cy * sy,
+        )
+
+
+@dataclass
+class RenderResponse:
+    """One served frame.
+
+    Attributes:
+        request: the request this answers.
+        image: composited RGB ``(H, W, 3)`` (read-only when it came from
+            or went into the cache).
+        lod: level the frame was rendered at.
+        cache_hit: whether the frame came from the pose-keyed cache.
+        batch_size: unique frames rendered by the tick that served this.
+        latency_s: wall-clock seconds from tick start to batch completion.
+    """
+
+    request: RenderRequest
+    image: np.ndarray
+    lod: int
+    cache_hit: bool
+    batch_size: int
+    latency_s: float
+
+
+@dataclass
+class ServeStats:
+    """Service-lifetime counters."""
+
+    requests: int = 0
+    ticks: int = 0
+    frames_rendered: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduped: int = 0
+    model_swaps: int = 0
+    busy_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for JSON benchmark payloads)."""
+        return dict(vars(self))
+
+
+class RenderService:
+    """Serve render requests from a trained (possibly paged) model.
+
+    Args:
+        store: the served model's placement; a
+            :class:`~repro.gaussians.model.GaussianModel` is wrapped in
+            an :class:`~repro.serve.store.InMemoryServingStore`.
+        lod_set: nested LOD subsets; ``None`` restricts requests to
+            ``lod=0`` (full detail).
+        cache_bytes: frame-cache byte budget; ``0`` disables caching.
+        workers: render-farm process count (``<= 1`` serves inline; the
+            farm requires an in-memory store — a paged store's point is
+            that no process holds the whole model).
+        config: raster backend knobs; defaults to
+            :func:`default_serve_raster_config`. The ``parallel`` engine
+            is rejected with ``workers >= 2`` (pools must not nest).
+        background: render background color (black when ``None``).
+    """
+
+    def __init__(
+        self,
+        store: ServingStore | GaussianModel,
+        lod_set: LODSet | None = None,
+        cache_bytes: int = 64 * 1024 * 1024,
+        workers: int = 0,
+        config: RasterConfig | None = None,
+        background: np.ndarray | None = None,
+    ):
+        if isinstance(store, GaussianModel):
+            store = InMemoryServingStore.from_model(store)
+        self.config = config if config is not None else default_serve_raster_config()
+        if workers >= 2 and self.config.engine == "parallel":
+            raise ValueError(
+                "farm workers cannot nest the parallel raster engine; "
+                "use the vectorized engine for farmed serving"
+            )
+        if workers >= 2 and isinstance(store, PagedServingStore):
+            raise ValueError(
+                "the render farm needs an in-memory store; a paged model "
+                "serves inline (workers <= 1)"
+            )
+        self.store = store
+        self.lod_set = lod_set
+        self.background = background
+        self.cache = FrameCache(cache_bytes) if cache_bytes else None
+        self.model_version = 0
+        self.stats = ServeStats()
+        self._queue: list[RenderRequest] = []
+        self._farm = RenderFarm(workers) if workers >= 2 else None
+        self._publish()
+
+    # -- model lifecycle ---------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        host_budget_bytes: int | None = None,
+        num_shards: int = 4,
+        page_dir: str | None = None,
+        **kwargs,
+    ) -> "RenderService":
+        """Open a trained checkpoint for serving.
+
+        With ``host_budget_bytes`` set, the checkpoint streams into a
+        :class:`~repro.serve.store.PagedServingStore` (read-only open,
+        no full materialization — see
+        :class:`~repro.core.checkpoint.CheckpointReader`); otherwise the
+        committed model loads in-memory.
+        """
+        if host_budget_bytes is None:
+            store: ServingStore = InMemoryServingStore.from_checkpoint(path)
+        else:
+            store = PagedServingStore.from_checkpoint(
+                path, host_budget_bytes,
+                num_shards=num_shards, page_dir=page_dir,
+            )
+        return cls(store, **kwargs)
+
+    def _publish(self) -> None:
+        if self._farm is not None:
+            drop = self.lod_set.drop_level if self.lod_set is not None else None
+            self._farm.publish(self.store, drop)
+
+    def swap_model(
+        self,
+        store: ServingStore | GaussianModel,
+        lod_set: LODSet | None = None,
+    ) -> None:
+        """Hot-swap the served model.
+
+        Bumps the model version (pre-swap frame keys can never match
+        again), flushes the pose-keyed cache eagerly, republishes to the
+        farm, and closes the old store. LOD sets are model-specific, so
+        the new one must be supplied (or omitted for full-detail-only).
+        Requests already queued against a taller old LOD ladder are
+        clamped to the new set's coarsest level at the next tick rather
+        than dropped.
+        """
+        if isinstance(store, GaussianModel):
+            store = InMemoryServingStore.from_model(store)
+        if self._farm is not None and isinstance(store, PagedServingStore):
+            raise ValueError("cannot hot-swap a paged store into a farmed service")
+        old = self.store
+        self.store = store
+        self.lod_set = lod_set
+        self.model_version += 1
+        self.stats.model_swaps += 1
+        if self.cache is not None:
+            self.cache.invalidate()
+        self._publish()
+        if old is not store:
+            old.close()
+
+    # -- request path ------------------------------------------------------
+    def submit(self, request: RenderRequest) -> None:
+        """Queue a request for the next :meth:`tick`."""
+        self._validate(request)
+        self._queue.append(request)
+
+    def _validate(self, request: RenderRequest) -> int:
+        num_levels = 1 if self.lod_set is None else self.lod_set.num_levels
+        if not 0 <= request.lod < num_levels:
+            raise ValueError(
+                f"request lod {request.lod} out of range [0, {num_levels}) "
+                f"{'(no LOD set loaded)' if self.lod_set is None else ''}"
+            )
+        request.resolved_camera()  # validates the size override
+        return request.lod
+
+    def tick(self) -> list[RenderResponse]:
+        """Serve every queued request as one batch (submission order)."""
+        queue, self._queue = self._queue, []
+        if not queue:
+            return []
+        t0 = time.perf_counter()
+        self.stats.ticks += 1
+        self.stats.requests += len(queue)
+
+        # 1-2: keys + cache hits. The lod is re-clamped against the
+        # *current* LOD set: a hot swap may have shrunk the ladder since
+        # the request was validated, and losing the whole batch over a
+        # stale level would be worse than serving it at the coarsest
+        # surviving level.
+        num_levels = 1 if self.lod_set is None else self.lod_set.num_levels
+        plan = []  # (request, lod, camera, key, cached image | None)
+        for request in queue:
+            lod = min(request.lod, num_levels - 1)
+            camera = request.resolved_camera()
+            key = frame_key(camera, lod, self.model_version)
+            cached = self.cache.get(key) if self.cache is not None else None
+            plan.append((request, lod, camera, key, cached))
+
+        # 3: dedupe the misses into unique frames
+        unique: dict[bytes, FrameTask] = {}
+        for request, lod, camera, key, cached in plan:
+            if cached is None and key not in unique:
+                sh_degree = (
+                    self.lod_set.sh_degree(lod)
+                    if self.lod_set is not None
+                    else self.config_sh_degree()
+                )
+                unique[key] = FrameTask(
+                    camera=camera,
+                    lod=lod,
+                    sh_degree=sh_degree,
+                    config=self.config,
+                    background=self.background,
+                )
+
+        # 4: render the unique frames (farm when it pays)
+        tasks = list(unique.items())
+        if self._farm is not None and len(tasks) >= 2:
+            images = self._farm.render_batch([t for _, t in tasks])
+        else:
+            drop = self.lod_set.drop_level if self.lod_set is not None else None
+            images = [render_frame(self.store, drop, t) for _, t in tasks]
+        rendered = dict(zip((k for k, _ in tasks), images))
+
+        # 5: fill the cache, answer in submission order
+        for key, image in rendered.items():
+            if self.cache is not None:
+                self.cache.put(key, image)
+        elapsed = time.perf_counter() - t0
+        self.stats.busy_s += elapsed
+        self.stats.frames_rendered += len(rendered)
+        responses = []
+        for request, lod, _, key, cached in plan:
+            hit = cached is not None
+            if hit:
+                self.stats.cache_hits += 1
+            else:
+                self.stats.cache_misses += 1
+                if rendered.get(key) is None:
+                    raise AssertionError("miss neither rendered nor cached")
+            responses.append(
+                RenderResponse(
+                    request=request,
+                    image=cached if hit else rendered[key],
+                    lod=lod,
+                    cache_hit=hit,
+                    batch_size=len(rendered),
+                    latency_s=elapsed,
+                )
+            )
+        self.stats.deduped += sum(
+            1 for *_, cached in plan if cached is None
+        ) - len(rendered)
+        return responses
+
+    def config_sh_degree(self) -> int:
+        """SH degree served without a LOD set (the model's full degree)."""
+        from ..gaussians.layout import SH_DEGREE
+
+        return SH_DEGREE
+
+    def render(self, request: RenderRequest) -> RenderResponse:
+        """Serve one request immediately.
+
+        Ticks the whole queue (earlier :meth:`submit` calls ride along in
+        the same batch) and returns the response to *this* request.
+        """
+        self.submit(request)
+        return next(
+            resp for resp in self.tick() if resp.request is request
+        )
+
+    def serve(self, requests: list[RenderRequest]) -> list[RenderResponse]:
+        """Serve a request trace as one batched tick per call."""
+        for request in requests:
+            self.submit(request)
+        return self.tick()
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the farm's shared segment and the store's pages."""
+        if self._farm is not None:
+            self._farm.close()
+        self.store.close()
+
+    def __enter__(self) -> "RenderService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def requests_from_cameras(
+    cameras: list[Camera],
+    lod: int = 0,
+    width: int | None = None,
+    height: int | None = None,
+) -> list[RenderRequest]:
+    """Wrap a camera trajectory as a request trace.
+
+    Client sessions are camera trajectories — an orbit inspection, a
+    walkthrough (:func:`repro.cameras.trajectories.orbit` /
+    :func:`~repro.cameras.trajectories.walkthrough`) — plus a quality
+    tier; this adapts one to the service's request model.
+    """
+    return [
+        RenderRequest(camera=cam, lod=lod, width=width, height=height)
+        for cam in cameras
+    ]

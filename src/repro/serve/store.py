@@ -1,0 +1,387 @@
+"""Read-only serving stores: where a trained model lives while it serves.
+
+Training placements (:mod:`repro.core.stores`) carry optimizer state and
+gradient plumbing; serving needs none of that — just the committed
+``(N, 59)`` parameter matrix, gatherable per view. Two placements:
+
+* :class:`InMemoryServingStore` — the whole packed matrix resident in
+  host memory. Fast, simple, and what the render farm publishes to its
+  workers.
+* :class:`PagedServingStore` — the out-of-core tier for models larger
+  than the host budget (TideGS's regime, inference-side): the geometric
+  columns (17%) stay resident for culling, while the non-geometric
+  columns are spatially sharded into memory-mapped page files and at
+  most ``resident`` shards occupy host DRAM at once. Residency reuses
+  the training tier's LRU machinery (:class:`~repro.core.stores.\
+ResidentSet`), page traffic is metered on the
+  :class:`~repro.core.systems.TransferLedger` page channel, and a
+  capacity-capped :class:`~repro.sim.memory.MemoryTracker` *enforces*
+  the byte budget — an accounting bug raises instead of silently
+  overshooting.
+
+Both expose the same three-method surface the frame renderer needs:
+``geometry()`` for culling, ``gather(ids)`` for the visible rows, and
+``num_rows``. Placement never changes pixels: a paged gather returns the
+same bytes an in-memory gather would.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from ..core.checkpoint import CheckpointReader
+from ..core.splitting import spatial_partition
+from ..core.stores import ResidentSet
+from ..core.systems import TransferLedger
+from ..gaussians import layout
+from ..sim.memory import MemoryTracker
+
+__all__ = [
+    "InMemoryServingStore",
+    "PagedServingStore",
+    "ServingStore",
+]
+
+
+def _members(ids: np.ndarray, rows: np.ndarray):
+    """``(sel, local)``: positions within ``ids`` of this shard's members
+    and their shard-local row indices (rows sorted ascending)."""
+    if rows.size == 0 or ids.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    pos = np.searchsorted(rows, ids)
+    pos = np.clip(pos, 0, rows.size - 1)
+    hit = rows[pos] == ids
+    sel = np.nonzero(hit)[0]
+    return sel, pos[sel]
+
+
+class ServingStore:
+    """Read-only model placement surface the frame renderer draws from."""
+
+    @property
+    def num_rows(self) -> int:
+        """Number of Gaussians in the served model."""
+        raise NotImplementedError
+
+    @property
+    def dtype(self):
+        """Floating dtype of the served parameters."""
+        raise NotImplementedError
+
+    @property
+    def model_bytes(self) -> int:
+        """fp32-equivalent bytes of the full packed parameter matrix."""
+        return layout.param_bytes(self.num_rows)
+
+    def geometry(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resident ``(means, log_scales, quats)`` for frustum culling."""
+        raise NotImplementedError
+
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        """Packed ``(M, 59)`` rows for ``ids`` (copy)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any backing resources (idempotent)."""
+
+
+class InMemoryServingStore(ServingStore):
+    """The whole committed model resident in host memory.
+
+    Args:
+        params: packed ``(N, 59)`` matrix.
+        copy: defensively copy ``params`` (the render farm's workers wrap
+            shared-memory views without copying).
+    """
+
+    def __init__(self, params: np.ndarray, copy: bool = True):
+        if params.ndim != 2 or params.shape[1] != layout.PARAM_DIM:
+            raise ValueError(
+                f"params must be (N, {layout.PARAM_DIM}), got {params.shape}"
+            )
+        self.params = params.copy() if copy else params
+
+    @classmethod
+    def from_model(cls, model) -> "InMemoryServingStore":
+        """Wrap a :class:`~repro.gaussians.model.GaussianModel` (copy)."""
+        return cls(model.params)
+
+    @classmethod
+    def from_checkpoint(cls, path: str) -> "InMemoryServingStore":
+        """Load the committed model of a checkpoint, any placement."""
+        from ..core.checkpoint import resume_model
+
+        return cls(resume_model(path).params, copy=False)
+
+    @property
+    def num_rows(self) -> int:
+        return self.params.shape[0]
+
+    @property
+    def dtype(self):
+        return self.params.dtype
+
+    def geometry(self):
+        return (
+            self.params[:, layout.MEAN_SLICE],
+            self.params[:, layout.SCALE_SLICE],
+            self.params[:, layout.QUAT_SLICE],
+        )
+
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        return self.params[ids]  # advanced indexing already copies
+
+
+class _ServeShard:
+    """One spatial shard's non-geometric page: a memmap file plus an
+    optional paged-in host copy, driven through the shared
+    :class:`~repro.core.stores.ResidentSet` (which calls :meth:`spill`
+    on the LRU shard to make room — the same protocol the training
+    tier's :class:`~repro.core.stores.DiskStore` speaks)."""
+
+    def __init__(self, store: "PagedServingStore", index: int, num_rows: int):
+        self._store = store
+        self.index = index
+        self.num_rows = num_rows
+        if num_rows:
+            path = os.path.join(store.page_dir, f"serve_shard{index}.dat")
+            self._mm = np.memmap(
+                path, dtype=store.dtype, mode="w+",
+                shape=(num_rows, layout.NON_GEOMETRIC_DIM),
+            )
+        else:  # zero bytes cannot be memory-mapped
+            self._mm = np.empty(
+                (0, layout.NON_GEOMETRIC_DIM), dtype=store.dtype
+            )
+        self.values: np.ndarray | None = None
+
+    def flush(self) -> None:
+        """Flush the page file (no-op for an empty shard)."""
+        if isinstance(self._mm, np.memmap):
+            self._mm.flush()
+
+    @property
+    def is_resident(self) -> bool:
+        return self.values is not None
+
+    @property
+    def state_bytes(self) -> int:
+        """fp32-equivalent bytes of the paged columns."""
+        return layout.param_bytes(self.num_rows, layout.NON_GEOMETRIC_DIM)
+
+    def write(self, local_rows, values: np.ndarray) -> None:
+        """Fill page-file rows (build time only, before serving starts)."""
+        self._mm[local_rows] = values
+        self.flush()
+
+    def page_in(self) -> None:
+        """Make the shard's columns host-resident (LRU-admitting)."""
+        store = self._store
+        if self.is_resident:
+            store.resident_set.touch(self)
+            return
+        store.resident_set.admit(self)  # spills the LRU shard first
+        self.values = np.array(self._mm)
+        store.host_memory.allocate("serve_resident_shards", self.state_bytes)
+        store.ledger.record_page_in(self.state_bytes)
+
+    def spill(self) -> None:
+        """Drop the host copy (the page file stays authoritative)."""
+        if not self.is_resident:
+            return
+        store = self._store
+        self.values = None
+        store.resident_set.drop(self)
+        store.host_memory.free("serve_resident_shards", self.state_bytes)
+        store.ledger.record_page_out(self.state_bytes)
+
+
+class PagedServingStore(ServingStore):
+    """Serve a model larger than host memory by paging shard columns.
+
+    The geometric block ``(N, 10)`` stays resident (every request culls
+    against it); the non-geometric ``(N, 49)`` lives in per-shard memmap
+    page files under ``page_dir`` and at most ``resident`` shards are
+    paged into host DRAM at once, where::
+
+        resident = (host_budget_bytes - geo_bytes) // worst_shard_bytes
+
+    A :class:`~repro.sim.memory.MemoryTracker` capped at
+    ``host_budget_bytes`` charges the geometric block and every page-in,
+    so the budget is enforced, not just reported; page traffic lands on
+    the ledger's ``page_in``/``page_out`` channel.
+
+    Args:
+        geo: resident geometric columns ``(N, 10)``.
+        shard_rows: sorted disjoint global row ids per shard (a
+            :func:`~repro.core.splitting.spatial_partition`).
+        host_budget_bytes: byte cap on tracked host memory.
+        page_dir: directory of the page files (a temporary directory
+            that dies with the store when ``None``).
+        ledger: transfer ledger for the page channel (fresh when
+            ``None``).
+    """
+
+    def __init__(
+        self,
+        geo: np.ndarray,
+        shard_rows: list[np.ndarray],
+        host_budget_bytes: int,
+        page_dir: str | None = None,
+        ledger: TransferLedger | None = None,
+    ):
+        if geo.ndim != 2 or geo.shape[1] != layout.GEOMETRIC_DIM:
+            raise ValueError(
+                f"geo must be (N, {layout.GEOMETRIC_DIM}), got {geo.shape}"
+            )
+        self.geo = np.ascontiguousarray(geo)
+        self.shard_rows = [np.asarray(r, dtype=np.int64) for r in shard_rows]
+        if int(sum(r.size for r in self.shard_rows)) != geo.shape[0]:
+            raise ValueError("shard rows must partition the model's rows")
+        self.ledger = ledger if ledger is not None else TransferLedger()
+        if page_dir is None:
+            self._page_tmp = tempfile.TemporaryDirectory(prefix="gsscale-serve-")
+            self.page_dir = self._page_tmp.name
+        else:
+            self._page_tmp = None
+            self.page_dir = page_dir
+            os.makedirs(page_dir, exist_ok=True)
+
+        geo_bytes = layout.param_bytes(self.num_rows, layout.GEOMETRIC_DIM)
+        worst = max(
+            layout.param_bytes(int(r.size), layout.NON_GEOMETRIC_DIM)
+            for r in self.shard_rows
+        )
+        resident = (host_budget_bytes - geo_bytes) // max(worst, 1)
+        if resident < 1:
+            raise ValueError(
+                f"host budget {host_budget_bytes} cannot hold the resident "
+                f"geometry ({geo_bytes} B) plus one shard page ({worst} B)"
+            )
+        self.host_memory = MemoryTracker(capacity_bytes=host_budget_bytes)
+        self.host_memory.allocate("serve_geo", geo_bytes)
+        self.resident_set = ResidentSet(min(int(resident), len(self.shard_rows)))
+        self.shards = [
+            _ServeShard(self, k, int(r.size))
+            for k, r in enumerate(self.shard_rows)
+        ]
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        host_budget_bytes: int,
+        num_shards: int = 4,
+        page_dir: str | None = None,
+        ledger: TransferLedger | None = None,
+    ) -> "PagedServingStore":
+        """Shard a in-memory model into page files and serve it paged."""
+        params = model.params
+        shard_rows = spatial_partition(
+            params[:, layout.MEAN_SLICE], num_shards
+        )
+        store = cls(
+            params[:, layout.GEOMETRIC_SLICE],
+            shard_rows,
+            host_budget_bytes,
+            page_dir=page_dir,
+            ledger=ledger,
+        )
+        for shard, rows in zip(store.shards, store.shard_rows):
+            if rows.size:
+                shard.write(slice(None), params[rows][:, layout.NON_GEOMETRIC_SLICE])
+        return store
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        host_budget_bytes: int,
+        num_shards: int = 4,
+        page_dir: str | None = None,
+        ledger: TransferLedger | None = None,
+    ) -> "PagedServingStore":
+        """Open a trained checkpoint for paged serving.
+
+        Streams the checkpoint block by block through
+        :class:`~repro.core.checkpoint.CheckpointReader`: the packed
+        ``(N, 59)`` matrix is never materialized — only the geometric
+        columns (resident anyway) plus one checkpoint block at a time —
+        so a spilled out-of-core checkpoint opens for serving within
+        roughly the same host footprint it trained under.
+        """
+        with CheckpointReader(path) as reader:
+            geo = reader.assemble_columns(layout.GEOMETRIC_SLICE)
+            shard_rows = spatial_partition(
+                geo[:, layout.MEAN_SLICE], num_shards
+            )
+            store = cls(
+                geo, shard_rows, host_budget_bytes,
+                page_dir=page_dir, ledger=ledger,
+            )
+            # global row -> (owning serve shard, local row)
+            n = reader.num_gaussians
+            shard_of = np.empty(n, dtype=np.int64)
+            local_of = np.empty(n, dtype=np.int64)
+            for k, rows in enumerate(store.shard_rows):
+                shard_of[rows] = k
+                local_of[rows] = np.arange(rows.size)
+            base = layout.NON_GEOMETRIC_SLICE.start
+            for rows, csl, values in reader.iter_column_blocks(
+                layout.NON_GEOMETRIC_SLICE
+            ):
+                if rows is None:
+                    rows = np.arange(n)
+                cols = slice(csl.start - base, csl.stop - base)
+                for k in np.unique(shard_of[rows]):
+                    sel = shard_of[rows] == k
+                    store.shards[k]._mm[local_of[rows[sel]], cols] = values[sel]
+            for shard in store.shards:
+                shard.flush()
+        return store
+
+    # -- serving surface ---------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.geo.shape[0]
+
+    @property
+    def dtype(self):
+        return self.geo.dtype
+
+    @property
+    def resident_budget(self) -> int:
+        """How many shard pages may be host-resident at once."""
+        return self.resident_set.budget
+
+    def geometry(self):
+        return (
+            self.geo[:, layout.MEAN_SLICE],
+            self.geo[:, layout.SCALE_SLICE],
+            self.geo[:, layout.QUAT_SLICE],
+        )
+
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        out = np.empty((ids.size, layout.PARAM_DIM), dtype=self.dtype)
+        out[:, layout.GEOMETRIC_SLICE] = self.geo[ids]
+        for shard, rows in zip(self.shards, self.shard_rows):
+            sel, local = _members(ids, rows)
+            if sel.size == 0:
+                continue
+            # copy while resident: a later shard's admit may spill this one
+            shard.page_in()
+            out[sel, layout.NON_GEOMETRIC_SLICE] = shard.values[local]
+        return out
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.spill()
+            shard._mm = None
+        if self._page_tmp is not None:
+            self._page_tmp.cleanup()
+            self._page_tmp = None

@@ -1,0 +1,189 @@
+"""Discrete-event model of the render-serving subsystem.
+
+The training timelines (:mod:`repro.sim.timeline`) answer "how fast does
+one iteration go"; serving needs the *queueing* answer — what latency do
+clients see at a given arrival rate, worker count, cache hit rate, and
+LOD tier, and when does the farm saturate. :func:`simulate_serve` runs a
+seeded request-arrival trace (Poisson arrivals) through a W-server queue
+whose per-request service time comes from the same
+:class:`~repro.sim.costs.CostModel` the training figures use:
+
+* a cache hit costs a lookup;
+* a render costs the forward-only pass over the LOD-reduced active set
+  (:meth:`~repro.sim.costs.CostModel.serve_forward`);
+* a paged model adds a disk page-in stall whenever the request's view
+  leaves the resident shard set (probability ``page_stall_prob``), the
+  serving-side analogue of the training tier's shard swaps.
+
+The result reports the numbers a capacity planner reads: p50/p99
+latency, sustained requests/sec, and worker utilization — alongside the
+training schedules, from the same platform definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gaussians import layout
+from .costs import CostModel
+from .devices import Platform
+from .memory import DEFAULT_OUTOFCORE_SHARDS
+
+__all__ = [
+    "CACHE_LOOKUP_S",
+    "ServeResult",
+    "ServeScenario",
+    "request_arrivals",
+    "simulate_serve",
+]
+
+#: Pose-keyed cache lookup + response handoff, seconds.
+CACHE_LOOKUP_S = 50e-6
+
+#: Fixed per-request orchestration overhead (batching, dispatch), seconds.
+REQUEST_OVERHEAD_S = 200e-6
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """One serving workload.
+
+    Attributes:
+        name: label for reports.
+        num_requests: trace length.
+        arrival_rate_hz: mean Poisson arrival rate.
+        workers: render-farm worker count.
+        cache_hit_rate: fraction of requests answered from the frame
+            cache (pose revisit probability of the client mix).
+        keep_fraction: LOD splat retention of the served tier (1.0 =
+            full detail).
+        page_stall_prob: probability a rendered request pages a shard in
+            first (0 for an in-memory model).
+        num_shards: shard count of the paged model (sizes the page).
+        seed: RNG seed; the trace is deterministic in it.
+    """
+
+    name: str = "serve"
+    num_requests: int = 200
+    arrival_rate_hz: float = 100.0
+    workers: int = 1
+    cache_hit_rate: float = 0.0
+    keep_fraction: float = 1.0
+    page_stall_prob: float = 0.0
+    num_shards: int = DEFAULT_OUTOFCORE_SHARDS
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.arrival_rate_hz <= 0:
+            raise ValueError("arrival_rate_hz must be > 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not 0.0 <= self.cache_hit_rate <= 1.0:
+            raise ValueError("cache_hit_rate must be in [0, 1]")
+        if not 0.0 < self.keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        if not 0.0 <= self.page_stall_prob <= 1.0:
+            raise ValueError("page_stall_prob must be in [0, 1]")
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one simulated serving trace.
+
+    Attributes:
+        scenario: the scenario name.
+        p50_latency_s, p99_latency_s: request latency percentiles
+            (arrival to completion, queueing included).
+        requests_per_s: sustained throughput over the trace.
+        seconds: trace makespan (first arrival to last completion).
+        worker_utilization: busy time over ``workers * seconds``.
+        cache_hits / rendered: request counts by path.
+        render_s: modeled per-frame render time at the scenario's LOD.
+        page_stall_s: total seconds spent waiting on page-ins.
+    """
+
+    scenario: str
+    p50_latency_s: float
+    p99_latency_s: float
+    requests_per_s: float
+    seconds: float
+    worker_utilization: float
+    cache_hits: int
+    rendered: int
+    render_s: float
+    page_stall_s: float
+
+
+def request_arrivals(
+    rate_hz: float, num_requests: int, seed: int = 0
+) -> np.ndarray:
+    """Poisson arrival times (seconds, ascending, starting near 0)."""
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate_hz, size=num_requests))
+
+
+def simulate_serve(
+    platform: Platform,
+    n_total: int,
+    active_ratio: float,
+    num_pixels: int,
+    scenario: ServeScenario,
+) -> ServeResult:
+    """Run one request trace through a W-worker serving farm.
+
+    Requests are served FIFO by the earliest-free worker; a request's
+    service time is a cache lookup (hit), or the LOD-reduced forward
+    render plus any page-in stall (miss). Deterministic in the
+    scenario's seed.
+    """
+    cost = CostModel(platform)
+    render_s = cost.serve_forward(
+        int(n_total * active_ratio * scenario.keep_fraction), num_pixels
+    )
+    shard_rows = -(-n_total // scenario.num_shards)
+    page_s = cost.disk_page(
+        layout.param_bytes(shard_rows, layout.NON_GEOMETRIC_DIM)
+    )
+
+    arrivals = request_arrivals(
+        scenario.arrival_rate_hz, scenario.num_requests, scenario.seed
+    )
+    rng = np.random.default_rng(scenario.seed + 1)
+    hits = rng.random(scenario.num_requests) < scenario.cache_hit_rate
+    stalls = rng.random(scenario.num_requests) < scenario.page_stall_prob
+
+    worker_free = np.zeros(scenario.workers)
+    latencies = np.empty(scenario.num_requests)
+    busy = 0.0
+    page_stall_total = 0.0
+    for i, arrival in enumerate(arrivals):
+        if hits[i]:
+            service = CACHE_LOOKUP_S
+        else:
+            service = REQUEST_OVERHEAD_S + render_s
+            if stalls[i]:
+                service += page_s
+                page_stall_total += page_s
+        w = int(np.argmin(worker_free))
+        start = max(arrival, worker_free[w])
+        worker_free[w] = start + service
+        latencies[i] = worker_free[w] - arrival
+        busy += service
+
+    makespan = float(worker_free.max() - arrivals[0])
+    return ServeResult(
+        scenario=scenario.name,
+        p50_latency_s=float(np.percentile(latencies, 50)),
+        p99_latency_s=float(np.percentile(latencies, 99)),
+        requests_per_s=scenario.num_requests / makespan,
+        seconds=makespan,
+        worker_utilization=busy / (scenario.workers * makespan),
+        cache_hits=int(hits.sum()),
+        rendered=int((~hits).sum()),
+        render_s=render_s,
+        page_stall_s=page_stall_total,
+    )

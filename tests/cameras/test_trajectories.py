@@ -1,0 +1,58 @@
+"""Trajectory-generator tests (client-session paths for serving)."""
+
+import numpy as np
+import pytest
+
+from repro.cameras import trajectories
+
+
+class TestWalkthrough:
+    WAYPOINTS = np.array([[0.0, 0.0, 5.0], [10.0, 0.0, 5.0], [10.0, 10.0, 5.0]])
+
+    def test_count_and_endpoints(self):
+        cams = trajectories.walkthrough(self.WAYPOINTS, num_cameras=7)
+        assert len(cams) == 7
+        np.testing.assert_allclose(cams[0].center, self.WAYPOINTS[0], atol=1e-9)
+        np.testing.assert_allclose(cams[-1].center, self.WAYPOINTS[-1], atol=1e-9)
+
+    def test_stations_on_the_polyline(self):
+        cams = trajectories.walkthrough(self.WAYPOINTS, num_cameras=9)
+        for cam in cams:
+            c = cam.center
+            on_first = abs(c[1]) < 1e-9 and -1e-9 <= c[0] <= 10 + 1e-9
+            on_second = abs(c[0] - 10) < 1e-9 and -1e-9 <= c[1] <= 10 + 1e-9
+            assert on_first or on_second
+
+    def test_looks_along_the_path(self):
+        cams = trajectories.walkthrough(self.WAYPOINTS, num_cameras=4)
+        # first camera walks +x: its forward axis (3rd rotation row) is +x
+        forward = cams[0].world_to_cam_rot[2]
+        np.testing.assert_allclose(forward, [1.0, 0.0, 0.0], atol=1e-9)
+        # last camera has passed the corner and walks +y
+        forward = cams[-1].world_to_cam_rot[2]
+        np.testing.assert_allclose(forward, [0.0, 1.0, 0.0], atol=1e-9)
+
+    def test_deterministic(self):
+        a = trajectories.walkthrough(self.WAYPOINTS, num_cameras=5)
+        b = trajectories.walkthrough(self.WAYPOINTS, num_cameras=5)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.world_to_cam_rot, y.world_to_cam_rot)
+            assert np.array_equal(x.world_to_cam_trans, y.world_to_cam_trans)
+
+    def test_image_size_knobs(self):
+        cams = trajectories.walkthrough(
+            self.WAYPOINTS, num_cameras=3, width=64, height_px=48
+        )
+        assert all(c.width == 64 and c.height == 48 for c in cams)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="waypoints"):
+            trajectories.walkthrough(np.zeros((1, 3)), num_cameras=3)
+        with pytest.raises(ValueError, match="num_cameras"):
+            trajectories.walkthrough(self.WAYPOINTS, num_cameras=0)
+        with pytest.raises(ValueError, match="look_ahead"):
+            trajectories.walkthrough(self.WAYPOINTS, num_cameras=3, look_ahead=0.0)
+        with pytest.raises(ValueError, match="distinct"):
+            trajectories.walkthrough(
+                np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 0.0]]), num_cameras=2
+            )

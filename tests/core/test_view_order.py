@@ -1,0 +1,72 @@
+"""Edge-case tests for ``locality_view_order`` (the out-of-core schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.cameras import Camera
+from repro.core import locality_view_order
+
+
+def camera_at(position) -> Camera:
+    position = np.asarray(position, dtype=np.float64)
+    return Camera.look_at(position, position + np.array([0.0, 0.0, -1.0]))
+
+
+class TestLocalityViewOrder:
+    def test_zero_views(self):
+        order = locality_view_order([])
+        assert order.shape == (0,)
+        assert order.dtype == np.int64
+
+    def test_single_view(self):
+        order = locality_view_order([camera_at([1.0, 2.0, 3.0])])
+        assert order.tolist() == [0]
+
+    def test_is_a_permutation(self):
+        cams = [camera_at([x, 0.0, 5.0]) for x in range(7)]
+        order = locality_view_order(cams)
+        assert sorted(order.tolist()) == list(range(7))
+
+    def test_all_views_in_one_cluster(self):
+        """Every view touching one shard (coincident camera centers up to
+        jitter): still a valid permutation, still starts at view 0."""
+        rng = np.random.default_rng(0)
+        cams = [
+            camera_at(np.array([3.0, 3.0, 5.0]) + rng.normal(scale=1e-9, size=3))
+            for _ in range(5)
+        ]
+        order = locality_view_order(cams)
+        assert sorted(order.tolist()) == list(range(5))
+        assert order[0] == 0
+
+    def test_exactly_coincident_centers(self):
+        cams = [camera_at([1.0, 1.0, 4.0]) for _ in range(4)]
+        order = locality_view_order(cams)
+        assert sorted(order.tolist()) == list(range(4))
+
+    def test_deterministic_across_repeated_calls(self):
+        rng = np.random.default_rng(3)
+        cams = [camera_at(rng.uniform(-5, 5, size=3) + [0, 0, 10]) for _ in range(9)]
+        first = locality_view_order(cams)
+        for _ in range(3):
+            assert np.array_equal(locality_view_order(cams), first)
+
+    def test_two_clusters_stay_contiguous(self):
+        """The schedule's point: views sharing a shard are visited
+        back-to-back, so the resident set swaps once, not per view."""
+        left = [camera_at([x * 0.1, 0.0, 5.0]) for x in range(4)]
+        right = [camera_at([100.0 + x * 0.1, 0.0, 5.0]) for x in range(4)]
+        cams = [left[0], right[0], left[1], right[1], left[2], right[2],
+                left[3], right[3]]
+        order = locality_view_order(cams)
+        # positions of the left-cluster views (even source indices) in the
+        # schedule must be one contiguous run, likewise the right cluster
+        sides = np.array([i % 2 for i in order])
+        switches = int(np.sum(sides[1:] != sides[:-1]))
+        assert switches == 1
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_starts_at_first_view(self, n):
+        rng = np.random.default_rng(n)
+        cams = [camera_at(rng.uniform(-5, 5, size=3) + [0, 0, 10]) for _ in range(n)]
+        assert locality_view_order(cams)[0] == 0

@@ -331,3 +331,71 @@ class TestEndToEndTraining:
         np.testing.assert_allclose(losses, ref_losses, atol=1e-9, rtol=0)
         # same Adam-sensitivity caveat as the vectorized parity suite
         np.testing.assert_allclose(params, ref_params, atol=2e-4, rtol=0)
+
+
+class TestAdaptiveSpans:
+    """Span oversubscription: the planner cuts ~3x workers spans for
+    straggler smoothing, without changing numerics or determinism."""
+
+    def test_pooled_pass_plans_oversubscribed_spans(self, scene_args):
+        from repro.render.engine import clip_isect_rects
+        from repro.render.rasterize import config_bboxes
+        from repro.render.tiles import (
+            SPAN_OVERSUBSCRIPTION,
+            adaptive_span_count,
+        )
+
+        means2d, conics, colors, opacities, depths, radii = scene_args
+        cfg = RasterConfig()
+        bboxes = config_bboxes(means2d, radii, 96, 80, cfg)
+        tile_ids, sid, tiles_x, _ = tile_intersections(
+            bboxes, 96, 80, 16, order=np.argsort(depths, kind="stable")
+        )
+        rx0, rx1, ry0, ry1 = clip_isect_rects(bboxes, tile_ids, sid, tiles_x, 16)
+        weights = (rx1 - rx0) * (ry1 - ry0)
+        for workers in (2, 4):
+            spans = partition_spans(
+                tile_ids, weights, adaptive_span_count(workers)
+            )
+            assert len(spans) > workers  # smoothing needs spare spans
+            assert len(spans) <= workers * SPAN_OVERSUBSCRIPTION
+        assert adaptive_span_count(0) == adaptive_span_count(1) == 1
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_oversubscribed_parity_and_determinism(self, scene_args, workers):
+        bg = np.array([0.3, 0.1, 0.5])
+        cfg = RasterConfig(engine="parallel", workers=workers)
+        ref_fwd = rasterize_vectorized(
+            *scene_args, width=96, height=80, background=bg
+        )
+        fwd = rasterize_parallel(
+            *scene_args, width=96, height=80, background=bg, config=cfg
+        )
+        np.testing.assert_allclose(fwd.image, ref_fwd.image, atol=ATOL, rtol=0)
+        grad = np.full((80, 96, 3), 0.5)
+        ref_bwd = rasterize_backward_vectorized(
+            scene_args[0], scene_args[1], scene_args[2], scene_args[3],
+            ref_fwd, grad, background=bg,
+        )
+        bwd = rasterize_backward_parallel(
+            scene_args[0], scene_args[1], scene_args[2], scene_args[3],
+            fwd, grad, background=bg, config=cfg,
+        )
+        for field in GRAD_FIELDS:
+            np.testing.assert_allclose(
+                getattr(bwd, field), getattr(ref_bwd, field), atol=ATOL,
+                rtol=0,
+            )
+        # bit-exact repeatability with the oversubscribed plan
+        again = rasterize_parallel(
+            *scene_args, width=96, height=80, background=bg, config=cfg
+        )
+        np.testing.assert_array_equal(again.image, fwd.image)
+        bwd_again = rasterize_backward_parallel(
+            scene_args[0], scene_args[1], scene_args[2], scene_args[3],
+            again, grad, background=bg, config=cfg,
+        )
+        for field in GRAD_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(bwd_again, field), getattr(bwd, field)
+            )

@@ -1,0 +1,109 @@
+"""Frame-cache tests: LRU byte budget, counters, keys, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.cameras import Camera
+from repro.serve import FrameCache, frame_key
+
+
+def make_camera(**overrides):
+    defaults = dict(position=np.array([0.0, -5.0, 3.0]), target=np.zeros(3))
+    defaults.update(overrides)
+    return Camera.look_at(**defaults)
+
+
+def frame(seed: int, shape=(8, 8, 3)) -> np.ndarray:
+    return np.random.default_rng(seed).random(shape)
+
+
+class TestFrameKey:
+    def test_same_inputs_same_key(self):
+        a = frame_key(make_camera(), 0, 0)
+        b = frame_key(make_camera(), 0, 0)
+        assert a == b
+
+    def test_pose_size_lod_version_all_distinguish(self):
+        base = frame_key(make_camera(), 0, 0)
+        moved = frame_key(
+            make_camera(position=np.array([0.0, -5.0, 3.1])), 0, 0
+        )
+        resized = frame_key(make_camera(width=64), 0, 0)
+        lodded = frame_key(make_camera(), 1, 0)
+        swapped = frame_key(make_camera(), 0, 1)
+        assert len({base, moved, resized, lodded, swapped}) == 5
+
+
+class TestFrameCache:
+    def test_hit_returns_same_array(self):
+        cache = FrameCache(1 << 20)
+        key = frame_key(make_camera(), 0, 0)
+        image = frame(0)
+        assert cache.get(key) is None
+        cache.put(key, image)
+        hit = cache.get(key)
+        assert np.array_equal(hit, image)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_cached_frames_are_frozen(self):
+        cache = FrameCache(1 << 20)
+        key = frame_key(make_camera(), 0, 0)
+        cache.put(key, frame(0))
+        hit = cache.get(key)
+        with pytest.raises(ValueError):
+            hit[0, 0, 0] = 0.0
+
+    def test_lru_eviction_respects_byte_budget(self):
+        img = frame(0)
+        cache = FrameCache(3 * img.nbytes)
+        keys = [frame_key(make_camera(), 0, version) for version in range(5)]
+        for k in keys:
+            cache.put(k, frame(1))
+            assert cache.live_bytes <= cache.capacity_bytes
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        # oldest two evicted, newest three live
+        assert cache.get(keys[0]) is None and cache.get(keys[1]) is None
+        assert all(cache.get(k) is not None for k in keys[2:])
+
+    def test_recency_refresh_on_hit(self):
+        img = frame(0)
+        cache = FrameCache(2 * img.nbytes)
+        k1, k2, k3 = (frame_key(make_camera(), 0, v) for v in range(3))
+        cache.put(k1, frame(1))
+        cache.put(k2, frame(2))
+        cache.get(k1)  # k1 is now most recent
+        cache.put(k3, frame(3))  # evicts k2, not k1
+        assert cache.get(k1) is not None
+        assert cache.get(k2) is None
+
+    def test_oversized_frame_never_stored(self):
+        img = frame(0)
+        cache = FrameCache(img.nbytes - 1)
+        cache.put(frame_key(make_camera(), 0, 0), img)
+        assert len(cache) == 0 and cache.live_bytes == 0
+
+    def test_replacing_a_key_reclaims_its_bytes(self):
+        img = frame(0)
+        cache = FrameCache(2 * img.nbytes)
+        key = frame_key(make_camera(), 0, 0)
+        cache.put(key, frame(1))
+        cache.put(key, frame(2))
+        assert len(cache) == 1
+        assert cache.live_bytes == img.nbytes
+
+    def test_invalidate_drops_everything(self):
+        cache = FrameCache(1 << 20)
+        keys = [frame_key(make_camera(), 0, v) for v in range(4)]
+        for k in keys:
+            cache.put(k, frame(0))
+        dropped = cache.invalidate()
+        assert dropped == 4
+        assert len(cache) == 0 and cache.live_bytes == 0
+        assert cache.invalidations == 1
+        assert all(cache.get(k) is None for k in keys)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameCache(0)

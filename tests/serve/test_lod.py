@@ -1,0 +1,108 @@
+"""LOD tests: nested subsets, full-detail identity, measured quality."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticSceneConfig, build_scene
+from repro.serve import (
+    DEFAULT_LOD_LEVELS,
+    LODLevel,
+    LODSet,
+    lod_quality_report,
+    splat_importance,
+)
+from repro.serve.lod import render_at_lod
+from repro.render import render
+from repro.render.rasterize import RasterConfig
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene(
+        SyntheticSceneConfig(
+            num_points=200, width=32, height=24,
+            num_train_cameras=4, num_test_cameras=2,
+            altitude=12.0, seed=5,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def lod_set(scene):
+    return LODSet.build(scene.oracle.params)
+
+
+class TestConstruction:
+    def test_subsets_are_nested(self, lod_set):
+        previous = None
+        for lod in range(lod_set.num_levels):
+            ids = set(lod_set.subset_ids(lod).tolist())
+            if previous is not None:
+                assert ids <= previous
+            previous = ids
+
+    def test_level_zero_keeps_everything(self, scene, lod_set):
+        assert lod_set.subset_ids(0).size == scene.oracle.num_gaussians
+        assert lod_set.sh_degree(0) == 3
+
+    def test_counts_match_keep_fractions(self, scene, lod_set):
+        n = scene.oracle.num_gaussians
+        for lod, level in enumerate(lod_set.levels):
+            expected = int(np.ceil(level.keep_fraction * n))
+            assert lod_set.subset_ids(lod).size == expected
+
+    def test_deterministic(self, scene):
+        a = LODSet.build(scene.oracle.params)
+        b = LODSet.build(scene.oracle.params)
+        assert np.array_equal(a.drop_level, b.drop_level)
+
+    def test_importance_prefers_big_opaque_splats(self):
+        params = np.zeros((2, 59))
+        params[0, 10] = 4.0   # opaque
+        params[1, 10] = -4.0  # transparent
+        imp = splat_importance(params)
+        assert imp[0] > imp[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="keep"):
+            LODLevel(sh_degree=3, keep_fraction=0.0)
+        with pytest.raises(ValueError, match="sh_degree"):
+            LODLevel(sh_degree=9, keep_fraction=1.0)
+        with pytest.raises(ValueError, match="full detail"):
+            LODSet([LODLevel(3, 0.5)], np.zeros(4, np.int16))
+        with pytest.raises(ValueError, match="non-increasing"):
+            LODSet(
+                [LODLevel(3, 1.0), LODLevel(2, 0.2), LODLevel(1, 0.6)],
+                np.zeros(4, np.int16),
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            LODSet.build(np.zeros((4, 59))).mask(len(DEFAULT_LOD_LEVELS))
+
+    def test_filter_ids_respects_cull_order(self, scene, lod_set):
+        ids = np.arange(0, scene.oracle.num_gaussians, 2)
+        filtered = lod_set.filter_ids(ids, 1)
+        assert np.all(np.diff(filtered) > 0)  # still sorted
+        assert np.isin(filtered, lod_set.subset_ids(1)).all()
+        assert lod_set.filter_ids(ids, 0) is ids  # level 0 is a no-op
+
+
+class TestQuality:
+    def test_level_zero_render_is_full_render(self, scene, lod_set):
+        config = RasterConfig(engine="vectorized")
+        cam = scene.test_cameras[0]
+        image = render_at_lod(scene.oracle, cam, lod_set, 0, config)
+        assert np.array_equal(image, render(scene.oracle, cam, config=config).image)
+
+    def test_report_measures_monotone_degradation(self, scene, lod_set):
+        report = lod_quality_report(
+            scene.oracle, scene.test_cameras, lod_set,
+            config=RasterConfig(engine="vectorized"),
+        )
+        assert len(report) == lod_set.num_levels
+        assert report[0]["psnr_vs_full"] == float("inf")
+        psnrs = [e["psnr_vs_full"] for e in report[1:]]
+        assert all(np.isfinite(p) for p in psnrs)
+        # the coarsest level cannot beat the finest reduced level
+        assert psnrs[-1] <= psnrs[0]
+        counts = [e["num_splats"] for e in report]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,202 @@
+"""Serving-store tests: paged placement changes accounting, never pixels.
+
+The acceptance bar for the paged tier: a model larger than the host byte
+budget serves with every tracked host byte under the budget (capacity-
+enforced, not just reported), page traffic quantized in whole shard
+pages on the ledger's disk channel, and gathers bit-identical to the
+in-memory store.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import GSScaleConfig, create_system
+from repro.core.checkpoint import CheckpointReader, resume_model, save_checkpoint
+from repro.datasets import SyntheticSceneConfig, build_scene
+from repro.gaussians import layout
+from repro.serve import InMemoryServingStore, PagedServingStore
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene(
+        SyntheticSceneConfig(
+            num_points=240, width=36, height=28,
+            num_train_cameras=6, num_test_cameras=2,
+            altitude=12.0, seed=11,
+        )
+    )
+
+
+def tight_budget(n: int, num_shards: int = 4, shards_resident: int = 1) -> int:
+    """Geometry + ``shards_resident`` worst-case shard pages."""
+    worst = -(-n // num_shards)
+    return layout.param_bytes(n, layout.GEOMETRIC_DIM) + (
+        shards_resident * layout.param_bytes(worst, layout.NON_GEOMETRIC_DIM)
+    )
+
+
+class TestInMemoryStore:
+    def test_gather_and_geometry_match_model(self, scene):
+        model = scene.oracle
+        store = InMemoryServingStore.from_model(model)
+        ids = np.arange(0, model.num_gaussians, 3)
+        assert np.array_equal(store.gather(ids), model.params[ids])
+        means, log_scales, quats = store.geometry()
+        assert np.array_equal(means, model.means)
+        assert np.array_equal(log_scales, model.log_scales)
+        assert np.array_equal(quats, model.quats)
+
+    def test_copy_decouples_from_model(self, scene):
+        model = scene.oracle.copy()
+        store = InMemoryServingStore.from_model(model)
+        model.params[:] = 0.0
+        assert not np.array_equal(store.params, model.params)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="params"):
+            InMemoryServingStore(np.zeros((4, 10)))
+
+
+class TestPagedStore:
+    def test_gather_bit_identical_to_in_memory(self, scene):
+        model = scene.oracle
+        n = model.num_gaussians
+        paged = PagedServingStore.from_model(model, tight_budget(n))
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            ids = np.sort(rng.choice(n, size=60, replace=False))
+            assert np.array_equal(paged.gather(ids), model.params[ids])
+        paged.close()
+
+    def test_budget_enforced_while_model_larger(self, scene):
+        model = scene.oracle
+        n = model.num_gaussians
+        budget = tight_budget(n)
+        paged = PagedServingStore.from_model(model, budget)
+        assert paged.model_bytes > budget  # the model cannot be hosted whole
+        rng = np.random.default_rng(1)
+        for _ in range(6):
+            ids = np.sort(rng.choice(n, size=80, replace=False))
+            paged.gather(ids)
+            assert paged.host_memory.live_bytes <= budget
+        # tracker-verified: capacity equals the budget, so an accounting
+        # bug would have raised MemoryError above
+        assert paged.host_memory.capacity_bytes == budget
+        assert paged.host_memory.peak_bytes <= budget
+        paged.close()
+
+    def test_page_traffic_quantized_on_ledger(self, scene):
+        model = scene.oracle
+        n = model.num_gaussians
+        paged = PagedServingStore.from_model(model, tight_budget(n))
+        assert paged.resident_budget == 1
+        paged.gather(np.arange(n))  # touches every shard, in shard order
+        ledger = paged.ledger
+        sizes = [
+            layout.param_bytes(int(r.size), layout.NON_GEOMETRIC_DIM)
+            for r in paged.shard_rows
+        ]
+        # each shard pages in exactly once; all but the last spill to make
+        # room for the next — whole shard pages, nothing partial
+        assert ledger.page_in_count == len(sizes)
+        assert ledger.page_in_bytes == sum(sizes)
+        assert ledger.page_out_count == len(sizes) - 1
+        assert ledger.page_out_bytes == sum(sizes[:-1])
+        paged.close()
+
+    def test_lru_revisit_does_not_repage(self, scene):
+        model = scene.oracle
+        n = model.num_gaussians
+        paged = PagedServingStore.from_model(
+            model, tight_budget(n, shards_resident=4)
+        )
+        assert paged.resident_budget == 4
+        ids = paged.shard_rows[0][:10]
+        paged.gather(ids)
+        pages = paged.ledger.page_in_count
+        paged.gather(ids)  # resident: a touch, not a page-in
+        assert paged.ledger.page_in_count == pages
+        paged.close()
+
+    def test_budget_too_small_raises(self, scene):
+        model = scene.oracle
+        with pytest.raises(ValueError, match="host budget"):
+            PagedServingStore.from_model(
+                model, layout.param_bytes(model.num_gaussians, layout.GEOMETRIC_DIM)
+            )
+
+    def test_explicit_page_dir_is_used(self, scene, tmp_path):
+        model = scene.oracle
+        paged = PagedServingStore.from_model(
+            model, tight_budget(model.num_gaussians),
+            page_dir=str(tmp_path / "pages"),
+        )
+        files = os.listdir(tmp_path / "pages")
+        assert len(files) == len(paged.shards)
+        paged.close()
+
+
+class TestCheckpointOpen:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, scene, tmp_path_factory):
+        cfg = GSScaleConfig(
+            system="outofcore", num_shards=4, resident_shards=1,
+            scene_extent=scene.extent, mem_limit=1.0, seed=0,
+            engine="vectorized",
+        )
+        system = create_system(scene.initial.copy(), cfg)
+        for i in range(6):
+            system.step(scene.train_cameras[i % 6], scene.train_images[i % 6])
+        path = str(tmp_path_factory.mktemp("ck") / "serve_ck.npz")
+        save_checkpoint(path, system)
+        system.finalize()
+        return path
+
+    def test_reader_blocks_cover_all_columns(self, checkpoint):
+        with CheckpointReader(checkpoint) as reader:
+            cols = np.zeros(layout.PARAM_DIM, dtype=np.int64)
+            for info in reader.blocks():
+                rows = (
+                    reader.num_gaussians if info.rows is None else info.rows.size
+                )
+                cols[info.start : info.stop] += rows
+            assert (cols == reader.num_gaussians).all()
+
+    def test_assemble_matches_resume_model(self, checkpoint):
+        ref = resume_model(checkpoint)
+        with CheckpointReader(checkpoint) as reader:
+            geo = reader.assemble_columns(layout.GEOMETRIC_SLICE)
+            sh = reader.assemble_columns(layout.SH_SLICE)
+        assert np.array_equal(geo, ref.params[:, layout.GEOMETRIC_SLICE])
+        assert np.array_equal(sh, ref.params[:, layout.SH_SLICE])
+
+    def test_assemble_uncovered_columns_raises(self, checkpoint, tmp_path):
+        with CheckpointReader(checkpoint) as reader:
+            with pytest.raises(ValueError, match="cover"):
+                reader.assemble_columns(slice(0, layout.PARAM_DIM + 1))
+
+    def test_paged_from_checkpoint_matches_resume(self, checkpoint):
+        ref = resume_model(checkpoint)
+        n = ref.num_gaussians
+        paged = PagedServingStore.from_checkpoint(
+            checkpoint, tight_budget(n), num_shards=4
+        )
+        ids = np.arange(n)
+        assert np.array_equal(paged.gather(ids), ref.params[ids])
+        assert paged.host_memory.peak_bytes <= paged.host_memory.capacity_bytes
+        paged.close()
+
+    def test_from_checkpoint_respects_shard_count(self, checkpoint):
+        ref = resume_model(checkpoint)
+        paged = PagedServingStore.from_checkpoint(
+            checkpoint, tight_budget(ref.num_gaussians, num_shards=2),
+            num_shards=2,
+        )
+        assert len(paged.shards) == 2
+        assert np.array_equal(
+            paged.gather(np.arange(ref.num_gaussians)), ref.params
+        )
+        paged.close()

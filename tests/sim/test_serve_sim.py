@@ -1,0 +1,85 @@
+"""Serving-timeline tests: queueing behavior of the modeled render farm."""
+
+import numpy as np
+import pytest
+
+from repro.sim import ServeScenario, get_platform, request_arrivals, simulate_serve
+
+N_TOTAL = 2_000_000
+ACTIVE = 0.1
+PIXELS = 256 * 256
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return get_platform("desktop_4090")
+
+
+def run(platform, **overrides):
+    scenario = ServeScenario(
+        num_requests=300, arrival_rate_hz=500.0, **overrides
+    )
+    return simulate_serve(platform, N_TOTAL, ACTIVE, PIXELS, scenario)
+
+
+class TestArrivals:
+    def test_poisson_trace_shape(self):
+        arrivals = request_arrivals(100.0, 500, seed=3)
+        assert arrivals.shape == (500,)
+        assert np.all(np.diff(arrivals) >= 0)
+        # mean gap ~ 1/rate
+        assert np.mean(np.diff(arrivals)) == pytest.approx(0.01, rel=0.3)
+
+    def test_deterministic_in_seed(self):
+        assert np.array_equal(
+            request_arrivals(50.0, 100, seed=1), request_arrivals(50.0, 100, seed=1)
+        )
+
+
+class TestQueueing:
+    def test_latency_percentiles_ordered(self, platform):
+        result = run(platform, workers=1)
+        assert 0.0 < result.p50_latency_s <= result.p99_latency_s
+        assert result.seconds > 0
+        assert 0.0 < result.worker_utilization <= 1.0
+
+    def test_more_workers_cut_tail_latency(self, platform):
+        one = run(platform, workers=1)
+        four = run(platform, workers=4)
+        assert four.p99_latency_s < one.p99_latency_s
+        assert four.requests_per_s >= one.requests_per_s
+
+    def test_cache_hits_cut_median_latency(self, platform):
+        cold = run(platform, workers=2, cache_hit_rate=0.0)
+        warm = run(platform, workers=2, cache_hit_rate=0.8)
+        assert warm.p50_latency_s < cold.p50_latency_s
+        assert warm.cache_hits + warm.rendered == 300
+        assert warm.cache_hits > 0
+
+    def test_lod_reduction_speeds_renders(self, platform):
+        full = run(platform, workers=1)
+        lod = run(platform, workers=1, keep_fraction=0.25)
+        assert lod.render_s < full.render_s
+        assert lod.requests_per_s >= full.requests_per_s
+
+    def test_paging_adds_stall(self, platform):
+        paged = run(platform, workers=2, page_stall_prob=0.5)
+        clean = run(platform, workers=2)
+        assert paged.page_stall_s > 0.0
+        assert clean.page_stall_s == 0.0
+        assert paged.p99_latency_s > clean.p99_latency_s
+
+    def test_deterministic(self, platform):
+        a = run(platform, workers=2, cache_hit_rate=0.3, seed=7)
+        b = run(platform, workers=2, cache_hit_rate=0.3, seed=7)
+        assert a == b
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            ServeScenario(workers=0)
+        with pytest.raises(ValueError):
+            ServeScenario(cache_hit_rate=1.5)
+        with pytest.raises(ValueError):
+            ServeScenario(keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            ServeScenario(arrival_rate_hz=0.0)
