@@ -381,18 +381,76 @@ def test_raster_parallel_speedup(benchmark):
     assert speedup >= 2.0, f"parallel speedup only {speedup:.2f}x"
 
 
+@pytest.mark.skipif(
+    _physical_cpu_count() < 4,
+    reason="fragment speedup gate needs >= 4 physical cores",
+)
+def test_raster_fragment_speedup(benchmark):
+    """Acceptance gate: at 4 workers x 4 shards on the 50k-splat scene,
+    the fragment engine (worker-side projection-free pair build + host
+    transmittance merge) must beat the span-parallel engine by >= 1.3x
+    combined forward+backward."""
+    from repro.render import RasterConfig
+    from repro.render.fragment import (
+        rasterize_backward_fragment,
+        rasterize_fragment,
+    )
+    from repro.render.parallel import (
+        rasterize_backward_parallel,
+        rasterize_parallel,
+    )
+
+    scene = make_raster_scene(RASTER_N_LARGE, RASTER_WH)
+    par_cfg = RasterConfig(engine="parallel", workers=4)
+    frag_cfg = RasterConfig(engine="fragment", workers=4, fragment_shards=4)
+    grad = np.ones((RASTER_WH, RASTER_WH, 3))
+
+    def compare():
+        par_res = rasterize_parallel(*scene, config=par_cfg)
+        frag_res = rasterize_fragment(*scene, config=frag_cfg)
+        np.testing.assert_allclose(
+            frag_res.image, par_res.image, atol=1e-9, rtol=0
+        )
+        t_par = _best_of(
+            lambda: rasterize_parallel(*scene, config=par_cfg)
+        ) + _best_of(
+            lambda: rasterize_backward_parallel(
+                scene[0], scene[1], scene[2], scene[3], par_res, grad,
+                config=par_cfg,
+            )
+        )
+        t_frag = _best_of(
+            lambda: rasterize_fragment(*scene, config=frag_cfg)
+        ) + _best_of(
+            lambda: rasterize_backward_fragment(
+                scene[0], scene[1], scene[2], scene[3], frag_res, grad,
+                config=frag_cfg,
+            )
+        )
+        return t_par / t_frag
+
+    speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert speedup >= 1.3, f"fragment speedup only {speedup:.2f}x"
+
+
 def test_raster_engine_matrix(benchmark):
     """Engine x workers x splat-count x dtype timing matrix.
 
     Writes ``benchmarks/out/BENCH_raster.json`` — the perf-trajectory
     artifact the CI perf-smoke job uploads. ``GSSCALE_BENCH_QUICK=1``
     shrinks the grid so shared runners finish in seconds; no speedup is
-    asserted here (timings on shared runners are informational).
+    asserted here (timings on shared runners are informational). The
+    fragment rows sweep a workers x shards grid, and quick mode adds a
+    span-oversubscription axis for the parallel engine.
     """
     from repro.render import RasterConfig
     from repro.render.engine import (
         rasterize_backward_vectorized,
         rasterize_vectorized,
+    )
+    from repro.render.fragment import (
+        rasterize_backward_fragment,
+        rasterize_fragment,
     )
     from repro.render.parallel import (
         rasterize_backward_parallel,
@@ -402,6 +460,8 @@ def test_raster_engine_matrix(benchmark):
     quick = os.environ.get("GSSCALE_BENCH_QUICK", "") not in ("", "0")
     sizes = (2_000,) if quick else (RASTER_N, RASTER_N_LARGE)
     worker_axis = (1, 2) if quick else (1, 2, 4)
+    shard_axis = (1, 2) if quick else (1, 2, 4)
+    oversub_axis = (1, 3, 6) if quick else (3,)
     rounds = 1 if quick else 2
 
     def run_matrix():
@@ -410,12 +470,13 @@ def test_raster_engine_matrix(benchmark):
             scene = make_raster_scene(n, RASTER_WH)
             grad = np.ones((RASTER_WH, RASTER_WH, 3))
 
-            def add(engine, workers, dtype, fwd, bwd):
+            def add(engine, workers, dtype, fwd, bwd, **extra):
                 entries.append({
                     "engine": engine, "workers": workers, "dtype": dtype,
                     "splats": n,
                     "forward_s": _best_of(fwd, rounds),
                     "backward_s": _best_of(bwd, rounds) if bwd else None,
+                    **extra,
                 })
 
             for dtype in (None, "float32"):
@@ -430,16 +491,41 @@ def test_raster_engine_matrix(benchmark):
                     ),
                 )
             for workers in worker_axis:
-                cfg = RasterConfig(engine="parallel", workers=workers)
-                res = rasterize_parallel(*scene, config=cfg)
-                add(
-                    "parallel", workers, "float64",
-                    lambda cfg=cfg: rasterize_parallel(*scene, config=cfg),
-                    lambda res=res, cfg=cfg: rasterize_backward_parallel(
-                        scene[0], scene[1], scene[2], scene[3], res, grad,
-                        config=cfg,
-                    ),
-                )
+                for oversub in oversub_axis:
+                    cfg = RasterConfig(
+                        engine="parallel", workers=workers,
+                        span_oversubscription=oversub,
+                    )
+                    res = rasterize_parallel(*scene, config=cfg)
+                    add(
+                        "parallel", workers, "float64",
+                        lambda cfg=cfg: rasterize_parallel(
+                            *scene, config=cfg
+                        ),
+                        lambda res=res, cfg=cfg: rasterize_backward_parallel(
+                            scene[0], scene[1], scene[2], scene[3], res,
+                            grad, config=cfg,
+                        ),
+                        span_oversubscription=oversub,
+                    )
+            for workers in worker_axis:
+                for shards in shard_axis:
+                    cfg = RasterConfig(
+                        engine="fragment", workers=workers,
+                        fragment_shards=shards,
+                    )
+                    res = rasterize_fragment(*scene, config=cfg)
+                    add(
+                        "fragment", workers, "float64",
+                        lambda cfg=cfg: rasterize_fragment(
+                            *scene, config=cfg
+                        ),
+                        lambda res=res, cfg=cfg: rasterize_backward_fragment(
+                            scene[0], scene[1], scene[2], scene[3], res,
+                            grad, config=cfg,
+                        ),
+                        shards=shards,
+                    )
         return entries
 
     entries = benchmark.pedantic(run_matrix, rounds=1, iterations=1)

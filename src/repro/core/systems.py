@@ -23,7 +23,10 @@ gradients back):
   each backed by its own hybrid store with a per-shard device tracker and
   transfer ledger (one simulated GPU per shard), per-view shard activation
   via frustum culling, host-side gradient aggregation across shards, and
-  an optional multiprocessing fan-out of the per-shard culling work.
+  an optional multiprocessing fan-out of the per-shard work — culling
+  always, and with the ``fragment`` raster engine the full per-shard
+  render pipeline (no shard's rows are ever gathered into a packed
+  union matrix).
 * :class:`OutOfCoreGSScaleSystem` — the sharded system with an out-of-core
   host tier: each shard's non-geometric state spills to memory-mapped
   files and only ``resident_shards`` shards occupy host DRAM at once,
@@ -42,15 +45,24 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..cameras.camera import Camera
 from ..gaussians import GaussianModel, layout
-from ..render import frustum_cull, render, render_backward
+from ..render import (
+    FragmentSource,
+    frustum_cull,
+    projection,
+    rasterize_backward_fragment,
+    rasterize_fragment_sources,
+    render,
+    render_backward,
+)
 from ..render.culling import CullResult
 from ..render.parallel import PersistentPool, pool_fork_guard
+from ..render.rasterize import RasterConfig
 from ..sim.memory import ACTIVATION_BYTES_PER_PIXEL, MemoryTracker
 from ..train.loss import photometric_loss
 from .config import GSScaleConfig
@@ -337,6 +349,34 @@ class TrainingSystem(ABC):
             loss.ssim,
         )
 
+    def _render_region(
+        self,
+        ids: np.ndarray,
+        region_cam: Camera,
+        gt_region: np.ndarray,
+        weight: float,
+    ) -> _RegionOutput:
+        """One region's stage -> render -> backward -> unstage cycle.
+
+        The default path stages the whole visible union through the store
+        composition and renders it jointly; the sharded systems override
+        this for the ``fragment`` engine to render shard by shard without
+        ever assembling the union's packed matrix.
+        """
+        values = self.store.stage(ids)
+        returned = False
+        try:
+            compact = GaussianModel(values)
+            grads, m2d, loss, l1, ssim = self._render_one(
+                compact, region_cam, gt_region, weight
+            )
+            returned = True
+        finally:
+            self.store.unstage(ids, returned=returned)
+        return _RegionOutput(
+            ids=ids, grads=grads, mean2d_abs=m2d, loss=loss, l1=l1, ssim=ssim
+        )
+
     @staticmethod
     def _aggregate(regions: list[_RegionOutput]) -> _RegionOutput:
         """Sum per-region gradients on the "host" (Section 4.4: gradients
@@ -381,23 +421,10 @@ class TrainingSystem(ABC):
             ids = cull.valid_ids
             if ids.size == 0:
                 continue
-            values = self.store.stage(ids)
-            returned = False
-            try:
-                compact = GaussianModel(values)
-                gt_region = gt_image[:, x_offset : x_offset + region_cam.width]
-                weight = region_cam.num_pixels / total_px
-                grads, m2d, loss, l1, ssim = self._render_one(
-                    compact, region_cam, gt_region, weight
-                )
-                returned = True
-            finally:
-                self.store.unstage(ids, returned=returned)
+            gt_region = gt_image[:, x_offset : x_offset + region_cam.width]
+            weight = region_cam.num_pixels / total_px
             outputs.append(
-                _RegionOutput(
-                    ids=ids, grads=grads, mean2d_abs=m2d,
-                    loss=loss, l1=l1, ssim=ssim,
-                )
+                self._render_region(ids, region_cam, gt_region, weight)
             )
 
         # the lazy host commit of iteration N-1 (overlapped in real time)
@@ -587,10 +614,14 @@ class ShardedGSScaleSystem(TrainingSystem):
     Gaussian-sharded training and TideGS's out-of-core blocks.
 
     Per view, every shard frustum-culls its own geometry (shards entirely
-    outside the frustum are skipped: no staging, no traffic); the visible
-    union renders jointly (the Grendel gather), gradients are aggregated
-    on the host and scattered back shard by shard. With
-    ``shard_workers > 1`` the per-shard culling fans out over a
+    outside the frustum are skipped: no staging, no traffic). Rendering
+    depends on the engine: by default the visible union is staged and
+    renders jointly (the Grendel gather); with the ``fragment`` engine the
+    union is never assembled — each shard stages, projects, and
+    rasterizes its own rows, and the host composites per-shard fragment
+    buffers (:meth:`_render_region_fragment`), with
+    ``shard_workers`` running the per-shard pipelines on a process pool.
+    ``shard_workers > 1`` also fans the per-shard culling out over a
     ``multiprocessing`` pool (fork start method; falls back to serial
     where unavailable). Training numerics are independent of K and of the
     fan-out: with K=1 the system is exactly :class:`GSScaleSystem`.
@@ -715,6 +746,157 @@ class ShardedGSScaleSystem(TrainingSystem):
             num_total=self._num_gaussians,
             num_in_depth=int(sum(r[1] for r in results)),
             num_visible=int(valid.size),
+        )
+
+    # -- fragment-parallel region rendering -------------------------------
+    def _fragment_raster_config(self) -> RasterConfig:
+        """Raster config of the per-shard fragment fan-out.
+
+        ``shard_workers`` is the sharded system's parallelism knob, so it
+        drives the fragment pool too (graduating the workers from
+        culling-only to full per-shard renders); ``raster.workers`` is the
+        fallback when it is unset. Worker count never changes numerics.
+        """
+        cfg = self.config
+        workers = (
+            cfg.shard_workers if cfg.shard_workers > 1 else cfg.raster.workers
+        )
+        if workers == cfg.raster.workers:
+            return cfg.raster
+        return replace(cfg.raster, workers=workers)
+
+    def _render_region(
+        self,
+        ids: np.ndarray,
+        region_cam: Camera,
+        gt_region: np.ndarray,
+        weight: float,
+    ) -> _RegionOutput:
+        if self.raster_engine != "fragment":
+            return super()._render_region(ids, region_cam, gt_region, weight)
+        return self._render_region_fragment(ids, region_cam, gt_region, weight)
+
+    def _render_region_fragment(
+        self,
+        ids: np.ndarray,
+        region_cam: Camera,
+        gt_region: np.ndarray,
+        weight: float,
+    ) -> _RegionOutput:
+        """Render one region shard by shard — no union gather.
+
+        Forward: each shard opens its own staging window (stage ->
+        project -> unstage; the window is released before the next shard
+        stages, so the aggregate staging peak is the *largest* shard's
+        window, not the sum), contributes a :class:`FragmentSource` of
+        projected columns, and the host composites fragment buffers via
+        :func:`rasterize_fragment_sources`. Backward: the composited
+        gradient is split along the shard boundaries of the concatenated
+        row space, and each shard re-stages to run its projection adjoint
+        and return its gradient slice (the second H2D window is the price
+        of never holding two shards' rows at once; values are identical
+        because staging is a pure optimizer peek). Numerics match the
+        gather path to compositing-rounding precision (~1e-12).
+        """
+        cfg = self.config
+        raster_cfg = self._fragment_raster_config()
+        dtype = self.store.dtype
+        background = (
+            np.zeros(3, dtype=dtype)
+            if cfg.background is None
+            else np.asarray(cfg.background, dtype=dtype)
+        )
+        sh_degree = cfg.sh_degree_at(self.iteration)
+        members = [self.store._members(ids, rows) for rows in self.shard_rows]
+        active = [k for k, (sel, _) in enumerate(members) if sel.size]
+
+        act_bytes = region_cam.num_pixels * ACTIVATION_BYTES_PER_PIXEL
+        self.memory.allocate("activations", act_bytes)
+        try:
+            sources: list[FragmentSource] = []
+            projs = []
+            for k in active:
+                _, local = members[k]
+                store = self.store.stores[k]
+                values = store.stage(local)
+                try:
+                    shard = GaussianModel(values)
+                    proj = projection.project(
+                        shard.means, shard.log_scales, shard.quats,
+                        shard.opacity_logits, shard.sh, region_cam,
+                        sh_degree=sh_degree,
+                    )
+                finally:
+                    store.unstage(local, returned=False)
+                projs.append(proj)
+                sources.append(
+                    FragmentSource(
+                        means2d=proj.geom.means2d,
+                        conics=proj.geom.conics,
+                        colors=proj.colors,
+                        opacities=proj.opacities,
+                        depths=proj.geom.depths,
+                        radii=proj.geom.radii,
+                    )
+                )
+
+            frag = rasterize_fragment_sources(
+                sources, region_cam.width, region_cam.height,
+                background=background, config=raster_cfg,
+            )
+            loss = photometric_loss(
+                frag.image, gt_region, ssim_lambda=cfg.ssim_lambda
+            )
+            rgrads = rasterize_backward_fragment(
+                np.concatenate([s.means2d for s in sources]),
+                np.concatenate([s.conics for s in sources]),
+                np.concatenate([s.colors for s in sources]),
+                np.concatenate([s.opacities for s in sources]),
+                frag,
+                loss.grad_image * weight,
+                background=background,
+                config=raster_cfg,
+            )
+
+            grads = np.zeros((ids.size, layout.PARAM_DIM), dtype=dtype)
+            m2d = np.zeros(ids.size, dtype=dtype)
+            offsets = frag.offsets
+            for j, k in enumerate(active):
+                sel, local = members[k]
+                sl = slice(int(offsets[j]), int(offsets[j + 1]))
+                store = self.store.stores[k]
+                values = store.stage(local)
+                returned = False
+                try:
+                    shard = GaussianModel(values)
+                    pgrads = projection.project_backward(
+                        shard.means, shard.log_scales, shard.quats,
+                        shard.sh, region_cam, projs[j],
+                        grad_means2d=rgrads.means2d[sl],
+                        grad_conics=rgrads.conics[sl],
+                        grad_colors=rgrads.colors[sl],
+                        grad_opacities=rgrads.opacities[sl],
+                    )
+                    returned = True
+                finally:
+                    store.unstage(local, returned=returned)
+                grads[sel, layout.MEAN_SLICE] = pgrads.means
+                grads[sel, layout.SCALE_SLICE] = pgrads.log_scales
+                grads[sel, layout.QUAT_SLICE] = pgrads.quats
+                grads[sel, layout.OPACITY_SLICE] = pgrads.opacity_logits
+                grads[sel, layout.SH_SLICE] = pgrads.sh.reshape(
+                    local.size, layout.SH_DIM
+                )
+                m2d[sel] = rgrads.mean2d_abs[sl]
+        finally:
+            self.memory.free("activations", act_bytes)
+        return _RegionOutput(
+            ids=ids,
+            grads=grads,
+            mean2d_abs=m2d,
+            loss=loss.loss * weight,
+            l1=loss.l1 * weight,
+            ssim=loss.ssim,
         )
 
     # -- reporting / lifecycle --------------------------------------------

@@ -1,12 +1,14 @@
 """Differentiable 3DGS renderer: culling, projection, rasterization, backward.
 
-Four interchangeable rasterization backends are available through
+Five interchangeable rasterization backends are available through
 ``RasterConfig.engine`` (see ``docs/raster_engines.md``): the per-splat
 ``reference`` loop, the ``tiled`` loop, the flat intersection-sorted
-``vectorized`` engine, and the multi-core tile-span ``parallel`` engine
+``vectorized`` engine, the multi-core tile-span ``parallel`` engine
 (``RasterConfig.workers`` processes over a persistent shared-memory
-pool). ``RasterConfig.dtype="float32"`` selects the inference fast path
-of the flat engines.
+pool), and the shard-parallel ``fragment`` engine (workers run the whole
+per-shard pipeline and the host merges depth-ordered fragment buffers).
+``RasterConfig.dtype="float32"`` selects the inference fast path of the
+flat engines.
 """
 
 from . import backward, culling, engine, projection, rasterize, tiles
@@ -15,6 +17,13 @@ from .engine import (
     rasterize_backward_vectorized,
     rasterize_vectorized,
     tile_intersections,
+)
+from .fragment import (
+    FragmentRasterResult,
+    FragmentSource,
+    rasterize_backward_fragment,
+    rasterize_fragment,
+    rasterize_fragment_sources,
 )
 from .parallel import (
     PersistentPool,
@@ -29,6 +38,8 @@ from .tiles import TileBinning, bin_gaussians, partition_spans, rasterize_tiled
 __all__ = [
     "CullResult",
     "ENGINES",
+    "FragmentRasterResult",
+    "FragmentSource",
     "PersistentPool",
     "RASTER_DTYPES",
     "RasterConfig",
@@ -43,8 +54,11 @@ __all__ = [
     "partition_spans",
     "projection",
     "rasterize",
+    "rasterize_backward_fragment",
     "rasterize_backward_parallel",
     "rasterize_backward_vectorized",
+    "rasterize_fragment",
+    "rasterize_fragment_sources",
     "rasterize_parallel",
     "rasterize_tiled",
     "rasterize_vectorized",

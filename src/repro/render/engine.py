@@ -85,6 +85,10 @@ def get_forward(engine: str):
         from . import parallel  # imported lazily: parallel imports this module
 
         return parallel.rasterize_parallel
+    if engine == "fragment":
+        from . import fragment  # imported lazily: fragment imports this module
+
+        return fragment.rasterize_fragment
     raise ValueError(f"unknown raster engine {engine!r}")
 
 
@@ -103,6 +107,10 @@ def get_backward(engine: str):
         from . import parallel
 
         return parallel.rasterize_backward_parallel
+    if engine == "fragment":
+        from . import fragment
+
+        return fragment.rasterize_backward_fragment
     raise ValueError(f"unknown raster engine {engine!r}")
 
 

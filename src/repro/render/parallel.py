@@ -481,7 +481,9 @@ def rasterize_parallel(
     if tile_ids.size:
         spans = _plan_spans(
             tile_ids, sid, bboxes, tiles_x, tile_size,
-            adaptive_span_count(config.workers),
+            adaptive_span_count(
+                config.workers, config.span_oversubscription
+            ),
         )
         arrays = {
             "means2d": means2d, "conics": conics, "colors": colors,
@@ -542,7 +544,9 @@ def rasterize_backward_parallel(
         return grads
     spans = _plan_spans(
         tile_ids, sid, result.bboxes, tiles_x, tile_size,
-        adaptive_span_count(config.workers),
+        adaptive_span_count(
+            config.workers, config.span_oversubscription
+        ),
     )
     arrays = {
         "means2d": means2d, "conics": conics, "colors": colors,

@@ -22,10 +22,12 @@ ALPHA_MAX = 0.99
 #: Selectable rasterization backends (see ``docs/raster_engines.md``):
 #: ``reference`` is the per-splat loop in this module, ``tiled`` the
 #: tile-binned loop in :mod:`repro.render.tiles`, ``vectorized`` the flat
-#: intersection-sorted engine in :mod:`repro.render.engine`, and
-#: ``parallel`` the multi-core tile-span pool in
-#: :mod:`repro.render.parallel`.
-ENGINES = ("reference", "tiled", "vectorized", "parallel")
+#: intersection-sorted engine in :mod:`repro.render.engine`, ``parallel``
+#: the multi-core tile-span pool in :mod:`repro.render.parallel`, and
+#: ``fragment`` the shard-parallel fragment compositor in
+#: :mod:`repro.render.fragment` (workers run the whole per-shard
+#: pipeline; the host merges depth-ordered fragment buffers).
+ENGINES = ("reference", "tiled", "vectorized", "parallel", "fragment")
 
 #: Compute dtypes the vectorized/parallel engines accept for
 #: ``RasterConfig.dtype`` (``None`` keeps the input arrays' dtype).
@@ -50,16 +52,25 @@ class RasterConfig:
             output (the loop engines bitwise, ``vectorized``/``parallel``
             to ~1e-12); the flat engines are much faster past a few
             hundred splats.
-        workers: worker-process count of the ``parallel`` engine. ``0``/``1``
-            run the tile-span pipeline in-process (no pool); ``>= 2`` ship
-            spans to a persistent multiprocessing pool via shared memory.
-            Ignored by the other engines.
-        dtype: compute dtype of the vectorized/parallel engines — one of
+        workers: worker-process count of the ``parallel``/``fragment``
+            engines. ``0``/``1`` run the pipelines in-process (no pool);
+            ``>= 2`` ship work to a persistent multiprocessing pool via
+            shared memory. Ignored by the other engines.
+        dtype: compute dtype of the flat engines — one of
             :data:`RASTER_DTYPES`, or ``None`` to keep the input dtype.
             ``"float32"`` is the inference fast path: pair-level arithmetic
             (the exp2/scan hot loops) runs in single precision, roughly
             halving memory traffic, at ~1e-4 image tolerance. The loop
             engines ignore it (they are correctness oracles).
+        span_oversubscription: spans planned per worker by the ``parallel``
+            engine (plumbed to
+            :func:`repro.render.tiles.adaptive_span_count`). Higher values
+            smooth stragglers at the cost of per-span dispatch overhead.
+        fragment_shards: shard count of the ``fragment`` engine when it is
+            invoked through the generic engine interface (whole-scene
+            inputs are cut into this many contiguous depth slabs). ``0``
+            derives the count from ``workers``. The sharded systems bypass
+            this and pass their own per-shard sources.
     """
 
     alpha_min: float = ALPHA_MIN
@@ -68,6 +79,8 @@ class RasterConfig:
     engine: str = "reference"
     workers: int = 0
     dtype: str | None = None
+    span_oversubscription: int = 3
+    fragment_shards: int = 0
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -81,6 +94,10 @@ class RasterConfig:
                 f"unknown raster dtype {self.dtype!r}; choose from "
                 f"{RASTER_DTYPES} or None"
             )
+        if self.span_oversubscription < 1:
+            raise ValueError("span_oversubscription must be >= 1")
+        if self.fragment_shards < 0:
+            raise ValueError("fragment_shards must be >= 0")
 
 
 @dataclass

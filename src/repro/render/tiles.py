@@ -50,18 +50,21 @@ __all__ = [
 SPAN_OVERSUBSCRIPTION = 3
 
 
-def adaptive_span_count(workers: int) -> int:
+def adaptive_span_count(
+    workers: int, oversubscription: int = SPAN_OVERSUBSCRIPTION
+) -> int:
     """Target span count for a ``workers``-process parallel raster pass.
 
     ``workers <= 1`` runs in-process, where extra spans are pure overhead
-    (one span); pooled runs oversubscribe by
-    :data:`SPAN_OVERSUBSCRIPTION` for straggler smoothing.
+    (one span); pooled runs oversubscribe by ``oversubscription`` (default
+    :data:`SPAN_OVERSUBSCRIPTION`, tunable per render via
+    ``RasterConfig.span_oversubscription``) for straggler smoothing.
     :func:`partition_spans` may still return fewer spans when the
     intersection table has fewer tiles.
     """
     if workers <= 1:
         return 1
-    return workers * SPAN_OVERSUBSCRIPTION
+    return workers * max(int(oversubscription), 1)
 
 
 def partition_spans(

@@ -15,6 +15,14 @@ pickles only a camera plus a few scalars. Workers attach read-only, run
 :func:`render_frame` — the *same* function the service runs inline, so a
 farm frame is bit-identical to a single-process frame — and ship the
 composited image back.
+
+:meth:`RenderFarm.publish_sharded` is the out-of-core variant for a
+:class:`~repro.serve.store.PagedServingStore`: the shared segment holds
+only the resident geometric block and the shard row ids, workers re-open
+the non-geometric page files read-only, and frames composite shard by
+shard through :func:`render_frame_sharded` (the render-side twin of the
+training systems' fragment path) — the packed ``(N, 59)`` matrix is
+never assembled anywhere.
 """
 
 from __future__ import annotations
@@ -24,13 +32,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cameras.camera import Camera
+from ..gaussians import layout
 from ..gaussians.model import GaussianModel
-from ..render import frustum_cull, render
+from ..render import (
+    FragmentSource,
+    frustum_cull,
+    projection,
+    rasterize_fragment_sources,
+    render,
+)
 from ..render.parallel import _pack_shm, _attach_shm, _shm_views, get_raster_pool
 from ..render.rasterize import RasterConfig
-from .store import InMemoryServingStore, ServingStore
+from .store import InMemoryServingStore, PagedServingStore, ServingStore, _members
 
-__all__ = ["FrameTask", "RenderFarm", "render_frame"]
+__all__ = [
+    "FrameTask",
+    "RenderFarm",
+    "render_frame",
+    "render_frame_sharded",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +93,151 @@ def render_frame(
     ).image
 
 
+class _WorkerPagedStore:
+    """Worker-side read-only view of a published :class:`PagedServingStore`.
+
+    Built from the shared geometric block plus the page-file paths: the
+    worker re-opens each shard's non-geometric page as a read-only memmap
+    on first touch. No packed ``(N, 59)`` matrix exists on either side of
+    the fan-out — only per-shard compact slices, exactly like the
+    training-side fragment path.
+    """
+
+    def __init__(self, geo, shard_rows, page_specs):
+        self.geo = geo
+        self.shard_rows = shard_rows
+        self._specs = page_specs
+        self._pages: dict[int, np.ndarray] = {}
+
+    @property
+    def dtype(self):
+        return self.geo.dtype
+
+    def geometry(self):
+        return (
+            self.geo[:, layout.MEAN_SLICE],
+            self.geo[:, layout.SCALE_SLICE],
+            self.geo[:, layout.QUAT_SLICE],
+        )
+
+    def _page(self, k: int) -> np.ndarray:
+        page = self._pages.get(k)
+        if page is None:
+            path, num_rows = self._specs[k]
+            if num_rows and path:
+                page = np.memmap(
+                    path, dtype=self.dtype, mode="r",
+                    shape=(num_rows, layout.NON_GEOMETRIC_DIM),
+                )
+            else:
+                page = np.empty(
+                    (0, layout.NON_GEOMETRIC_DIM), dtype=self.dtype
+                )
+            self._pages[k] = page
+        return page
+
+    def gather_shard(self, k, ids, local):
+        out = np.empty((local.size, layout.PARAM_DIM), dtype=self.dtype)
+        out[:, layout.GEOMETRIC_SLICE] = self.geo[ids]
+        out[:, layout.NON_GEOMETRIC_SLICE] = self._page(k)[local]
+        return out
+
+    def close(self) -> None:
+        self._pages.clear()
+
+
+def render_frame_sharded(
+    store,
+    drop_level: np.ndarray | None,
+    task: FrameTask,
+) -> np.ndarray:
+    """Render one frame shard by shard — the gather-free serving path.
+
+    Same culling and LOD semantics as :func:`render_frame`, but the
+    visible union is never gathered into one packed model: each serve
+    shard contributes only its own compact rows (one page touched at a
+    time), projected into a :class:`~repro.render.fragment.FragmentSource`,
+    and the frame is composited with the fragment transmittance merge.
+    ``store`` is a :class:`~repro.serve.store.PagedServingStore` (inline
+    service) or the farm workers' :class:`_WorkerPagedStore` — both speak
+    ``geometry()`` / ``shard_rows`` / ``gather_shard``. The task config's
+    thresholds/dtype/workers apply; its ``engine`` is moot (this *is* the
+    fragment path). Output matches a joint :func:`render_frame` to
+    compositing-rounding precision (~1e-12) and is bit-identical between
+    the inline and farmed executions.
+    """
+    means, log_scales, quats = store.geometry()
+    cull = frustum_cull(means, log_scales, quats, task.camera)
+    ids = cull.valid_ids
+    if drop_level is not None and task.lod > 0:
+        ids = ids[drop_level[ids] > task.lod]
+    config = task.config
+    camera = task.camera
+    sources = []
+    for k, rows in enumerate(store.shard_rows):
+        sel, local = _members(ids, rows)
+        if sel.size == 0:
+            continue
+        compact = GaussianModel(store.gather_shard(k, ids[sel], local))
+        proj = projection.project(
+            compact.means, compact.log_scales, compact.quats,
+            compact.opacity_logits, compact.sh, camera,
+            sh_degree=task.sh_degree,
+        )
+        sources.append(
+            FragmentSource(
+                means2d=proj.geom.means2d,
+                conics=proj.geom.conics,
+                colors=proj.colors,
+                opacities=proj.opacities,
+                depths=proj.geom.depths,
+                radii=proj.geom.radii,
+            )
+        )
+    if not sources:
+        dtype = store.dtype
+        background = (
+            np.zeros(3, dtype=dtype)
+            if task.background is None
+            else np.asarray(task.background, dtype=dtype)
+        )
+        image = np.empty((camera.height, camera.width, 3), dtype=dtype)
+        image[:] = background
+        return image
+    return rasterize_fragment_sources(
+        sources, camera.width, camera.height,
+        background=(
+            None
+            if task.background is None
+            else np.asarray(task.background, dtype=store.dtype)
+        ),
+        config=config,
+    ).image
+
+
+def _sharded_frame_task(args):
+    """Pool task: attach the shared geometry, map the pages, render."""
+    shm_name, metas, page_specs, task = args
+    shm = _attach_shm(shm_name)
+    views = store = None
+    try:
+        views = _shm_views(shm, metas)
+        flat = views["shard_rows_flat"]
+        offsets = views["shard_offsets"]
+        shard_rows = [
+            flat[offsets[k] : offsets[k + 1]]
+            for k in range(offsets.size - 1)
+        ]
+        store = _WorkerPagedStore(views["geo"], shard_rows, page_specs)
+        image = render_frame_sharded(store, views.get("drop_level"), task)
+    finally:
+        if store is not None:
+            store.close()
+        del views, store  # drop buffer views so close() cannot see exports
+        shm.close()
+    return image
+
+
 def _frame_task(args):
     """Pool task: attach the published model, render one frame, detach."""
     shm_name, metas, task = args
@@ -102,8 +267,10 @@ class RenderFarm:
         self.workers = workers
         self._shm = None
         self._metas = None
-        self._store: InMemoryServingStore | None = None
+        self._store: ServingStore | None = None
         self._drop_level: np.ndarray | None = None
+        self._sharded = False
+        self._page_specs: list[tuple[str, int]] | None = None
 
     @property
     def published(self) -> bool:
@@ -132,6 +299,42 @@ class RenderFarm:
                 arrays["drop_level"] = self._drop_level
             self._shm, self._metas = _pack_shm(arrays)
 
+    def publish_sharded(
+        self, store: PagedServingStore, drop_level: np.ndarray | None
+    ) -> None:
+        """Publish a paged store without packing the model.
+
+        The shared segment carries only the resident geometric block and
+        the shard row ids (~1/6 of the packed matrix); workers re-open
+        each shard's non-geometric page file read-only on demand, so no
+        process — host or worker — ever holds the ``(N, 59)`` union.
+        Frames render through :func:`render_frame_sharded` on both the
+        inline and pooled paths.
+        """
+        self.unpublish()
+        self._store = store
+        self._sharded = True
+        self._drop_level = (
+            None if drop_level is None
+            else np.asarray(drop_level, dtype=np.int16)
+        )
+        if self.workers >= 2:
+            self._page_specs = store.page_paths()
+            arrays = {
+                "geo": store.geo,
+                "shard_rows_flat": (
+                    np.concatenate(store.shard_rows)
+                    if store.shard_rows
+                    else np.empty(0, dtype=np.int64)
+                ),
+                "shard_offsets": np.concatenate(
+                    [[0], np.cumsum([r.size for r in store.shard_rows])]
+                ).astype(np.int64),
+            }
+            if self._drop_level is not None:
+                arrays["drop_level"] = self._drop_level
+            self._shm, self._metas = _pack_shm(arrays)
+
     def unpublish(self) -> None:
         """Release the published model's shared segment (idempotent)."""
         if self._shm is not None:
@@ -141,17 +344,27 @@ class RenderFarm:
             self._metas = None
         self._store = None
         self._drop_level = None
+        self._sharded = False
+        self._page_specs = None
 
     def render_batch(self, tasks: list[FrameTask]) -> list[np.ndarray]:
         """Render every task, one worker per frame (inline below 2)."""
         if self._store is None:
             raise RuntimeError("no model published to the farm")
         if self.workers <= 1 or len(tasks) <= 1:
+            frame = render_frame_sharded if self._sharded else render_frame
             return [
-                render_frame(self._store, self._drop_level, task)
-                for task in tasks
+                frame(self._store, self._drop_level, task) for task in tasks
             ]
         pool = get_raster_pool(self.workers)
+        if self._sharded:
+            return pool.map(
+                _sharded_frame_task,
+                [
+                    (self._shm.name, self._metas, self._page_specs, task)
+                    for task in tasks
+                ],
+            )
         return pool.map(
             _frame_task,
             [(self._shm.name, self._metas, task) for task in tasks],

@@ -378,6 +378,39 @@ class PagedServingStore(ServingStore):
             out[sel, layout.NON_GEOMETRIC_SLICE] = shard.values[local]
         return out
 
+    def gather_shard(
+        self, k: int, ids: np.ndarray, local: np.ndarray
+    ) -> np.ndarray:
+        """Packed rows of shard ``k``'s members only.
+
+        ``ids`` are the members' global row ids and ``local`` their
+        shard-local rows (a :func:`_members` pair). Exactly one page is
+        touched, so the per-shard serving path
+        (:func:`repro.serve.farm.render_frame_sharded`) holds at most one
+        shard's compact rows at a time instead of the visible union.
+        """
+        out = np.empty((local.size, layout.PARAM_DIM), dtype=self.dtype)
+        out[:, layout.GEOMETRIC_SLICE] = self.geo[ids]
+        shard = self.shards[k]
+        shard.page_in()
+        out[:, layout.NON_GEOMETRIC_SLICE] = shard.values[local]
+        return out
+
+    def page_paths(self) -> list[tuple[str, int]]:
+        """``(page file path, row count)`` per shard (``""`` when empty).
+
+        The render farm's sharded publish hands these to its workers,
+        which re-open the pages read-only instead of receiving a packed
+        copy of the model.
+        """
+        specs: list[tuple[str, int]] = []
+        for shard in self.shards:
+            if shard.num_rows and isinstance(shard._mm, np.memmap):
+                specs.append((str(shard._mm.filename), shard.num_rows))
+            else:
+                specs.append(("", shard.num_rows))
+        return specs
+
     def close(self) -> None:
         for shard in self.shards:
             shard.spill()

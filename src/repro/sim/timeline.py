@@ -55,9 +55,18 @@ DEFAULT_NUM_SHARDS = 4
 #: populations, not per-view visible work (Grendel reports ~10-20%).
 SHARD_IMBALANCE = 1.15
 
-#: Bytes exchanged per active Gaussian in the Grendel-style gather
-#: (projected splat record shipped between devices).
-SHARD_EXCHANGE_BYTES_PER_ACTIVE = 48.0
+#: Bytes per merged fragment record crossing the interconnect in the
+#: fragment-compositing schedule: the forward emit (premultiplied RGB,
+#: 3 x f32 = 12 B; log-transmittance, f32 = 4 B; pixel and depth-run keys,
+#: 2 x u32 = 8 B) plus the backward suffix return (pre-blend
+#: transmittance + suffix offset, 2 x f32 = 8 B).
+FRAGMENT_RECORD_BYTES = 32.0
+
+#: Average shard runs per covered pixel: shards are spatial, so most
+#: pixels composite one or two shard fragments — far below the
+#: per-active-Gaussian traffic of a Grendel-style all-gather, which is
+#: why the fragment merge replaces the exchange term.
+FRAGMENT_RUNS_PER_PIXEL = 1.5
 
 #: Marginal parallel efficiency of running the K per-shard host commits on
 #: separate cores: the row sets are disjoint, but they share host DRAM
@@ -306,8 +315,12 @@ def _sim_sharded(
     Each device runs the GS-Scale GPU leg over its ~1/K shard (with a
     load-imbalance derate), the PCIe legs stage each shard's share in
     parallel, and the host leg — aggregation across shards plus the
-    deferred commit — is unchanged in total work. One all-to-all exchange
-    of projected splat records per iteration joins the per-shard renders.
+    deferred commit — is unchanged in total work. The per-shard renders
+    join through the fragment-compositing merge (the functional engine's
+    ``fragment`` raster path): each shard ships compact per-pixel
+    fragment records to the host and receives two scalars per fragment
+    back for the backward split, a pixel-bound ``composite`` bandwidth
+    term that replaces the Grendel-style all-gather of projected splats.
 
     With ``resident_shards`` set (the out-of-core tier), a fourth leg pages
     shard state between host DRAM and disk: the view's active shards
@@ -343,11 +356,17 @@ def _sim_sharded(
     cpu_leg = peek + update
 
     # per-device PCIe leg (each shard stages its own share) plus the
-    # all-to-all exchange of projected splats for the gathered render
+    # fragment-merge composite: per covered pixel, each overlapping shard
+    # run ships one fragment record (forward emit + backward suffix
+    # return) — bounded by pixels and overlap, not by active splats
     h2d = cost.h2d_params(shard_active, dim)
     d2h = cost.d2h_grads(shard_active, dim) * splits
-    exchange = cost.transfer(n_active * SHARD_EXCHANGE_BYTES_PER_ACTIVE)
-    pcie_leg = h2d + d2h + exchange
+    composite = cost.transfer(
+        num_pixels
+        * min(FRAGMENT_RUNS_PER_PIXEL, float(num_shards))
+        * FRAGMENT_RECORD_BYTES
+    )
+    pcie_leg = h2d + d2h + composite
 
     # disk leg (out-of-core tier only)
     disk_leg = 0.0
@@ -385,8 +404,8 @@ def _sim_sharded(
     segments = [
         Segment("CPU", "fwd-update", 0.0, peek),
         Segment("PCIe", "H2D", peek * 0.2, peek * 0.2 + h2d),
-        Segment("PCIe", "exchange", peek * 0.2 + h2d,
-                peek * 0.2 + h2d + exchange),
+        Segment("PCIe", "composite", peek * 0.2 + h2d,
+                peek * 0.2 + h2d + composite),
         Segment("GPU", "fwd-bwd", peek * 0.2 + h2d,
                 peek * 0.2 + h2d + fwd_bwd),
         Segment("CPU", "aggregate+deferred-update", peek, peek + update),
@@ -399,9 +418,10 @@ def _sim_sharded(
     ]
     breakdown = {
         "cull": cull,
-        "h2d": h2d + exchange,
+        "h2d": h2d,
         "fwd_bwd": fwd_bwd,
         "d2h": d2h,
+        "composite": composite,
         "optimizer": peek + update,
         "misc": ITERATION_OVERHEAD_S + split_overhead + sync,
     }

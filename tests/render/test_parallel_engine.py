@@ -16,6 +16,7 @@ from repro.core import GSScaleConfig, create_system
 from repro.datasets import SyntheticSceneConfig, build_scene
 from repro.render import RasterConfig
 from repro.render.engine import (
+    clip_isect_rects,
     rasterize_backward_vectorized,
     rasterize_vectorized,
     tile_intersections,
@@ -242,6 +243,98 @@ class TestSpanPartition:
         assert partition_spans(np.empty(0, np.int64), np.empty(0), 4) == []
         one_tile = np.zeros(5, dtype=np.int64)
         assert partition_spans(one_tile, np.ones(5), 4) == [(0, 5)]
+
+
+class TestIsectEdgeCases:
+    """Degenerate intersection tables through the span machinery: the
+    partitioner, the clipped rects, and the pair builder must all agree
+    on empty, single-tile, and concentrated inputs."""
+
+    def _table(self, means2d, radii, width, height, depths=None):
+        bboxes = splat_bboxes(means2d, radii, width, height)
+        order = (
+            None if depths is None else np.argsort(depths, kind="stable")
+        )
+        tile_ids, sid, tiles_x, _ = tile_intersections(
+            bboxes, width, height, 16, order=order
+        )
+        return bboxes, tile_ids, sid, tiles_x
+
+    def test_zero_intersections(self):
+        """Every splat off-screen: empty table end to end."""
+        means2d = np.array([[-40.0, -40.0], [200.0, 200.0]])
+        radii = np.array([2.0, 2.0])
+        bboxes, tile_ids, sid, tiles_x = self._table(means2d, radii, 64, 48)
+        assert tile_ids.size == 0
+        assert partition_spans(tile_ids, np.empty(0), 4) == []
+        rx0, rx1, ry0, ry1 = clip_isect_rects(
+            bboxes, tile_ids, sid, tiles_x, 16
+        )
+        assert rx0.size == rx1.size == ry0.size == ry1.size == 0
+        from repro.render.engine import pairs_for_isects
+
+        pairs = pairs_for_isects(
+            means2d, np.full((2, 3), 1.0), np.full(2, 0.9), bboxes,
+            tile_ids, sid, tiles_x, 64, 48, RasterConfig(), 16,
+        )
+        assert pairs.pixel.size == 0 and pairs.nz.size == 0
+
+    def test_single_tile_image(self):
+        """A 16x16 image is one tile: every intersection and pair lands
+        in tile 0, and the rects clip to the image bounds."""
+        from repro.render.engine import pairs_for_isects
+
+        args = make_splats(20, 16, 16, 12)
+        means2d, conics, _, opacities, depths, radii = args
+        bboxes, tile_ids, sid, tiles_x = self._table(
+            means2d, radii, 16, 16, depths
+        )
+        assert tiles_x == 1
+        assert tile_ids.size > 0 and np.all(tile_ids == 0)
+        rx0, rx1, ry0, ry1 = clip_isect_rects(
+            bboxes, tile_ids, sid, tiles_x, 16
+        )
+        assert np.all(rx0 >= 0) and np.all(rx1 <= 16)
+        assert np.all(ry0 >= 0) and np.all(ry1 <= 16)
+        pairs = pairs_for_isects(
+            means2d, conics, opacities, bboxes, tile_ids, sid, tiles_x,
+            16, 16, RasterConfig(), 16,
+        )
+        assert np.all(pairs.pixel < 16 * 16)
+        # segment structure: pixel is nz repeated by counts, ascending
+        np.testing.assert_array_equal(
+            pairs.pixel, np.repeat(pairs.nz, pairs.counts)
+        )
+        assert np.all(np.diff(pairs.nz) > 0)
+
+    def test_all_pairs_in_one_tile(self):
+        """Splats concentrated in one tile of a multi-tile image: the
+        partitioner cannot cut inside it, so any requested span count
+        collapses to one span."""
+        rng = np.random.default_rng(13)
+        means2d = rng.uniform(20, 28, size=(30, 2))  # tile (1, 1) of 64x48
+        radii = np.full(30, 2.0)
+        _, tile_ids, sid, tiles_x = self._table(means2d, radii, 64, 48)
+        assert np.unique(tile_ids).size == 1
+        spans = partition_spans(
+            tile_ids, np.ones(tile_ids.size), 4
+        )
+        assert spans == [(0, tile_ids.size)]
+
+    def test_span_count_exceeds_nonempty_tiles(self):
+        """Asking for more spans than there are non-empty tiles: one span
+        per tile at most, still covering the table exactly."""
+        args = make_splats(12, 64, 48, 14)
+        means2d, _, _, _, depths, radii = args
+        _, tile_ids, sid, tiles_x = self._table(
+            means2d, radii, 64, 48, depths
+        )
+        nonempty = np.unique(tile_ids).size
+        spans = partition_spans(tile_ids, np.ones(tile_ids.size), 64)
+        assert 0 < len(spans) <= nonempty
+        assert spans[0][0] == 0 and spans[-1][1] == tile_ids.size
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert stop == start
 
 
 class TestPersistentPool:

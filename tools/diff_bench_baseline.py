@@ -1,0 +1,84 @@
+"""Warn-only diff of fresh perf-smoke runs against committed baselines.
+
+Usage::
+
+    python tools/diff_bench_baseline.py BASELINE NEW [BASELINE NEW ...]
+
+Each argument pair is a (committed baseline, fresh run) of the
+``BENCH_*.json`` payloads the micro-kernel and serve-throughput matrices
+write. Entries are matched on every non-timing field (engine, workers,
+dtype, splat count, shard count, ...); a timing regression past
+``THRESHOLD`` prints a GitHub Actions ``::warning::`` annotation.
+
+The exit code is always 0 — shared CI runners are far too noisy for a
+hard gate, so the diff only annotates the run for reviewers. Entries
+present on one side only (a new matrix cell, a removed one) are listed
+too, so the baseline is regenerated when the grid changes.
+"""
+
+import json
+import sys
+
+#: Fresh-over-baseline wall-clock ratio that triggers a warning. Shared
+#: runners routinely wobble 2x; only flag what a reviewer should see.
+THRESHOLD = 2.5
+
+TIMING_KEYS = ("forward_s", "backward_s")
+
+
+def entry_key(entry):
+    return tuple(
+        sorted((k, v) for k, v in entry.items() if k not in TIMING_KEYS)
+    )
+
+
+def diff(baseline_path, new_path):
+    warnings = 0
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        with open(new_path) as fh:
+            new = json.load(fh)
+    except OSError as exc:
+        print(f"::warning::cannot diff {baseline_path}: {exc}")
+        return 1
+    base_entries = {entry_key(e): e for e in baseline.get("entries", [])}
+    new_entries = {entry_key(e): e for e in new.get("entries", [])}
+    for key, fresh in new_entries.items():
+        base = base_entries.get(key)
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        if base is None:
+            print(f"::notice::{new_path}: no baseline entry for [{label}] "
+                  "— regenerate the committed baseline")
+            continue
+        for tk in TIMING_KEYS:
+            old, cur = base.get(tk), fresh.get(tk)
+            if not old or not cur:
+                continue
+            ratio = cur / old
+            if ratio > THRESHOLD:
+                warnings += 1
+                print(
+                    f"::warning::{new_path}: [{label}] {tk} "
+                    f"{ratio:.2f}x baseline ({old:.4f}s -> {cur:.4f}s)"
+                )
+    for key in base_entries.keys() - new_entries.keys():
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        print(f"::notice::{new_path}: baseline entry [{label}] missing "
+              "from this run")
+    return warnings
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) % 2:
+        print(__doc__)
+        return 2
+    total = 0
+    for baseline_path, new_path in zip(argv[::2], argv[1::2]):
+        total += diff(baseline_path, new_path)
+    print(f"baseline diff done: {total} timing warning(s) (informational)")
+    return 0  # warn-only by design
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
