@@ -21,9 +21,14 @@ import pytest
 
 from repro.cameras import trajectories
 from repro.datasets.synthetic import SyntheticSceneConfig, generate_point_cloud
-from repro.gaussians import GaussianModel
+from repro.gaussians import GaussianModel, layout
 from repro.render import shutdown_raster_pools
-from repro.serve import LODSet, RenderService, requests_from_cameras
+from repro.serve import (
+    LODSet,
+    PagedServingStore,
+    RenderService,
+    requests_from_cameras,
+)
 
 QUICK = os.environ.get("GSSCALE_BENCH_QUICK", "") not in ("", "0")
 
@@ -134,6 +139,43 @@ def test_serve_throughput_matrix(benchmark):
             "requests": num_requests,
             "requests_per_s": rps,
             "cached": True,
+        })
+        # paged tier ~10x past the host budget: same model served through
+        # compressed pages under an enforced byte budget; the stall
+        # fraction is the throughput give-up vs the in-memory serve above
+        geo = layout.param_bytes(model.num_gaussians, layout.GEOMETRIC_DIM)
+        nongeo = layout.param_bytes(
+            model.num_gaussians, layout.NON_GEOMETRIC_DIM
+        )
+        paged_store = PagedServingStore.from_model(
+            model, geo + nongeo // 10, num_shards=16, codec="float16"
+        )
+        service = RenderService(paged_store, lod_set=lod_set, workers=0)
+        try:
+            requests = client_trace(num_requests, resolution)
+            rps = measure_requests_per_s(service, requests)
+            page_ins = paged_store.ledger.page_in_count
+            peak = paged_store.host_memory.peak_bytes
+            budget = paged_store.host_memory.capacity_bytes
+        finally:
+            service.close()
+        assert page_ins > 0 and peak <= budget
+        inmem = next(
+            e for e in entries
+            if not e.get("cached") and e["workers"] == 0 and e["lod"] == 0
+        )
+        entries.append({
+            "workers": 0,
+            "lod": 0,
+            "keep_fraction": 1.0,
+            "requests": num_requests,
+            "paged": True,
+            "codec": "float16",
+            "budget_fraction": 0.1,
+            "requests_per_s": rps,
+            "page_stall_fraction": round(
+                max(0.0, 1.0 - rps / inmem["requests_per_s"]), 4
+            ),
         })
         return entries
 

@@ -74,6 +74,21 @@ class GSScaleConfig:
             automatically). Numerics and ledger traffic are identical to
             the synchronous schedule — only the stall moves off the
             critical path.
+        page_codec: how the ``outofcore`` system's spill files are stored
+            on disk — ``"raw"`` (memory-mapped native dtype, the
+            default), ``"lossless"`` (byte-shuffle + zlib, bit-identical
+            trajectories), or ``"float16"`` (half-precision pages, 2x
+            less disk traffic, tolerance-bounded drift). See
+            :mod:`repro.core.pagecodec`.
+        prefetch_depth: lookahead of the async staging queue — how many
+            upcoming views the background worker snapshots ahead of the
+            training thread. 1 is the classic double buffer; deeper
+            queues need ``async_prefetch`` and pay off on
+            locality-ordered view schedules (``view_order="locality"``).
+        write_behind: move the ``outofcore`` system's dirty page-outs to
+            a background writer thread (epoch-fenced, drained before
+            densification rebuilds and checkpoints) instead of writing
+            them synchronously on the admit path.
         raster: rasterizer thresholds and backend selection.
         engine: one-shot convenience override for ``raster.engine`` — one
             of :data:`repro.render.rasterize.ENGINES` (``"reference"``,
@@ -106,6 +121,9 @@ class GSScaleConfig:
     spill_dir: str | None = None
     resident_shards: int = 1
     async_prefetch: bool = False
+    page_codec: str = "raw"
+    prefetch_depth: int = 1
+    write_behind: bool = False
     raster: RasterConfig = field(default_factory=RasterConfig)
     engine: str | None = None
     background: np.ndarray | None = None
@@ -124,6 +142,17 @@ class GSScaleConfig:
             raise ValueError("shard_workers must be >= 0")
         if self.resident_shards < 1:
             raise ValueError("resident_shards must be >= 1")
+        # fail here, not on the first spill deep inside a training run
+        from .pagecodec import get_page_codec
+
+        get_page_codec(self.page_codec)
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
+        if self.prefetch_depth > 1 and not self.async_prefetch:
+            raise ValueError(
+                "prefetch_depth > 1 requires async_prefetch=True "
+                "(the staging queue is the async leg's lookahead)"
+            )
         if self.engine is not None:
             if self.engine != self.raster.engine:
                 # replace() re-runs RasterConfig validation on the name

@@ -45,7 +45,9 @@ to settle all lazy state. The four placements:
 from __future__ import annotations
 
 import os
+import queue
 import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -57,6 +59,7 @@ from ..optim.adam import DenseAdam
 from ..optim.base import AdamConfig, SparseOptimizer
 from ..optim.deferred import DeferredAdam
 from ..sim.memory import MemoryTracker
+from .pagecodec import get_page_codec
 
 _F32 = 4  # accounting is in float32-equivalent bytes
 
@@ -452,6 +455,70 @@ class PreloadedShard:
         return sum(a.nbytes for a in self.arrays.values())
 
 
+class _WriteBehindWriter:
+    """Single background thread draining queued :class:`DiskStore` page-outs.
+
+    With write-behind enabled, :meth:`DiskStore.spill` detaches the
+    working set and enqueues ``(store, epoch)`` here instead of writing
+    the spill files on the training thread — the admit path stops paying
+    the write. Jobs run strictly in order; each one completes under the
+    store's page lock and is fenced by the spill epoch, so a store that
+    paged back in (cancelling its pending write) or spilled again before
+    its job ran is simply skipped.
+
+    ``drain()`` blocks until every queued write has landed — the fence
+    :func:`~repro.core.checkpoint.save_checkpoint` relies on (via
+    ``finalize()``) so a checkpoint never races a queued page-out, and
+    the densification rebuild uses before discarding the old stores.
+    """
+
+    def __init__(self):
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._error: Exception | None = None
+        self.jobs_written = 0
+        self._thread = threading.Thread(
+            target=self._run, name="gsscale-writeback", daemon=True
+        )
+        self._thread.start()
+
+    def enqueue(self, store: "DiskStore", epoch: int) -> None:
+        """Queue the store's pending page-out (tagged with its epoch)."""
+        self._queue.put((store, epoch))
+
+    def drain(self) -> None:
+        """Block until every queued write has been applied or skipped."""
+        self._queue.join()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def close(self) -> None:
+        """Drain outstanding writes and stop the thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            try:
+                if job is None:
+                    return
+                store, epoch = job
+                store._complete_pending_write(epoch)
+                self.jobs_written += 1
+            except Exception as exc:  # surfaced by the next drain()/close()
+                self._error = exc
+            finally:
+                self._queue.task_done()
+
+
 class DiskStore(HostStore):
     """Out-of-core host rows: state spills to memory-mapped files.
 
@@ -487,6 +554,15 @@ class DiskStore(HostStore):
             (fresh untracked one when omitted).
         resident_set: optional shared residency budget.
         forwarding / deferred / max_defer: as :class:`HostStore`.
+        codec: page codec name (``raw``/``float16``/``lossless``). ``raw``
+            keeps the memory-mapped spill files; other codecs store each
+            field as one encoded page file (``{spill_path}.{field}.{codec}
+            .pagez``), decoded on page-in. The ledger's disk channel then
+            meters encoded bytes alongside the fp32-equivalent ones.
+        writer: optional :class:`_WriteBehindWriter`. When set, spills
+            detach the working set and queue the file write behind the
+            training thread (write-behind spilling); a page-in before the
+            write lands re-adopts the detached arrays and cancels it.
     """
 
     def __init__(
@@ -502,13 +578,18 @@ class DiskStore(HostStore):
         forwarding: bool = False,
         deferred: bool = False,
         max_defer: int = 15,
+        codec: str = "raw",
+        writer: "_WriteBehindWriter | None" = None,
     ):
         super().__init__(
             params_block, block, adam, memory, ledger,
             forwarding=forwarding, deferred=deferred, max_defer=max_defer,
         )
         self._n, self._d = self.params.shape
+        self._dtype = self.params.dtype
         self.spill_path = spill_path
+        self.codec = get_page_codec(codec)
+        self.writer = writer
         self.host_memory = host_memory if host_memory is not None else MemoryTracker()
         self.resident_set = resident_set
         self._stashed_lr: np.ndarray | None = None
@@ -517,16 +598,36 @@ class DiskStore(HostStore):
         # and pages in; the epoch counter invalidates stale snapshots
         self._page_lock = threading.RLock()
         self._spill_epoch = 0
+        # write-behind state: arrays detached by the last spill (plus
+        # their encoded pages) until the background writer lands them
+        self._pending_write: dict[str, np.ndarray] | None = None
+        self._pending_encoded: dict[str, bytes] | None = None
+        # deterministic admit-path counters: bytes the training thread
+        # wrote synchronously at spill (write-behind keeps this at zero),
+        # plus informational wall-clock for the paging micro-bench
+        self.sync_spill_bytes = 0
+        self.sync_spill_s = 0.0
+        self.page_in_s = 0.0
         parent = os.path.dirname(spill_path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._mm = {
-            field: np.memmap(
-                f"{spill_path}.{field}.dat",
-                dtype=self.params.dtype, mode="w+", shape=(self._n, self._d),
-            )
-            for field in ("params", "m", "v")
-        }
+        if self.codec.name == "raw":
+            self._mm = {
+                field: np.memmap(
+                    f"{spill_path}.{field}.dat",
+                    dtype=self._dtype, mode="w+", shape=(self._n, self._d),
+                )
+                for field in ("params", "m", "v")
+            }
+            self._page_files = None
+        else:
+            # encoded pages are whole-file reads/writes, not memmaps
+            self._mm = None
+            self._page_files = {
+                field: f"{spill_path}.{field}.{self.codec.name}.pagez"
+                for field in ("params", "m", "v")
+            }
+        self._disk_nbytes: dict[str, int] = {}
         if deferred:
             # counters stay in host memory for the store's whole life
             self.host_memory.allocate("host_defer_counters", self._n)
@@ -547,27 +648,83 @@ class DiskStore(HostStore):
 
     @property
     def dtype(self):
-        return self._mm["params"].dtype
+        return self._dtype
 
     def _state_bytes(self) -> int:
         """fp32-equivalent bytes of the pageable state (params + m + v)."""
         return 3 * layout.param_bytes(self._n, self._d)
 
+    def _disk_bytes(self) -> int:
+        """Bytes the pageable state occupies *on disk* (post-codec)."""
+        if self.codec.name == "raw" or not self._disk_nbytes:
+            return self._state_bytes()
+        return sum(self._disk_nbytes.values())
+
+    # -- page files (codec-aware) ------------------------------------------
+    def _encode_pages(self, arrays: dict[str, np.ndarray]) -> dict[str, bytes]:
+        encoded = {f: self.codec.encode(arrays[f]) for f in ("params", "m", "v")}
+        self._disk_nbytes = {f: len(buf) for f, buf in encoded.items()}
+        return encoded
+
+    def _write_pages(
+        self,
+        arrays: dict[str, np.ndarray],
+        encoded: dict[str, bytes] | None = None,
+    ) -> None:
+        """Persist the working set to the spill files (raw or encoded)."""
+        if self.codec.name == "raw":
+            for field in ("params", "m", "v"):
+                self._mm[field][...] = arrays[field]
+            for mm in self._mm.values():
+                mm.flush()
+            return
+        if encoded is None:
+            encoded = self._encode_pages(arrays)
+        for field, buf in encoded.items():
+            with open(self._page_files[field], "wb") as fh:
+                fh.write(buf)
+
+    def _read_pages(self) -> dict[str, np.ndarray]:
+        """Read + decode the spill files into fresh writable arrays."""
+        if self.codec.name == "raw":
+            return {f: np.array(self._mm[f]) for f in ("params", "m", "v")}
+        arrays = {}
+        for field, path in self._page_files.items():
+            with open(path, "rb") as fh:
+                buf = fh.read()
+            arrays[field] = self.codec.decode(
+                buf, (self._n, self._d), self._dtype
+            )
+        return arrays
+
     def spill(self) -> None:
         """Page the working set out to the spill files (no-op if spilled).
 
         Pending forwarded gradients and deferred counters are retained in
-        memory; everything else round-trips through the memmaps bit-exactly.
+        memory; everything else round-trips through the spill files —
+        bit-exactly under the ``raw``/``lossless`` codecs. With a
+        write-behind writer attached, the working set is detached and the
+        file write queued behind the training thread (the codec encode,
+        which fixes the on-disk byte count the ledger records, still runs
+        here); without one the write is synchronous and counted in
+        ``sync_spill_bytes``.
         """
         with self._page_lock:
             if not self._resident:
                 return
             opt = self.optimizer
-            self._mm["params"][...] = opt.params
-            self._mm["m"][...] = opt.m
-            self._mm["v"][...] = opt.v
-            for mm in self._mm.values():
-                mm.flush()
+            arrays = {"params": opt.params, "m": opt.m, "v": opt.v}
+            if self.writer is not None:
+                self._pending_write = arrays
+                self._pending_encoded = (
+                    None if self.codec.name == "raw"
+                    else self._encode_pages(arrays)
+                )
+            else:
+                t0 = time.perf_counter()
+                self._write_pages(arrays)
+                self.sync_spill_s += time.perf_counter() - t0
+                self.sync_spill_bytes += self._state_bytes()
             opt.params = opt.m = opt.v = None
             self.params = None
             self._resident = False
@@ -575,13 +732,30 @@ class DiskStore(HostStore):
             if self.resident_set is not None:
                 self.resident_set.drop(self)
             self.host_memory.free("host_resident_state", self._state_bytes())
-            self.ledger.record_page_out(self._state_bytes())
+            self.ledger.record_page_out(self._state_bytes(), self._disk_bytes())
+            if self.writer is not None:
+                self.writer.enqueue(self, self._spill_epoch)
+
+    def _complete_pending_write(self, epoch: int) -> None:
+        """Land a queued write-behind page-out (writer thread).
+
+        Skipped when the store paged back in (pending cancelled) or
+        spilled again (newer job queued) since the job was enqueued.
+        """
+        with self._page_lock:
+            if self._pending_write is None or epoch != self._spill_epoch:
+                return
+            self._write_pages(self._pending_write, self._pending_encoded)
+            self._pending_write = None
+            self._pending_encoded = None
 
     def _install(self, arrays: dict[str, np.ndarray]) -> None:
         """Adopt ``arrays`` as the paged-in working set (lock held,
         spilled). The single page-in path: accounting and the ledger's
         disk channel see one record whether the bytes came from a
-        synchronous read or an async preload."""
+        synchronous read or an async preload. Becoming resident cancels
+        any queued write-behind page-out — the on-disk page would be
+        stale the moment training mutates the arrays."""
         if self.resident_set is not None:
             self.resident_set.admit(self)
         opt = self.optimizer
@@ -589,11 +763,13 @@ class DiskStore(HostStore):
         opt.m = arrays["m"]
         opt.v = arrays["v"]
         self._resident = True
+        self._pending_write = None
+        self._pending_encoded = None
         if self._stashed_lr is not None:
             opt.set_lr(self._stashed_lr)
             self._stashed_lr = None
         self.host_memory.allocate("host_resident_state", self._state_bytes())
-        self.ledger.record_page_in(self._state_bytes())
+        self.ledger.record_page_in(self._state_bytes(), self._disk_bytes())
 
     def page_in(self) -> None:
         """Page the working set back in (admitting through the budget)."""
@@ -602,9 +778,15 @@ class DiskStore(HostStore):
                 if self.resident_set is not None:
                     self.resident_set.touch(self)
                 return
-            self._install(
-                {f: np.array(self._mm[f]) for f in ("params", "m", "v")}
-            )
+            if self._pending_write is not None:
+                # the queued page-out never landed: re-adopt the detached
+                # arrays (free) and cancel the write
+                self._install(self._pending_write)
+                return
+            t0 = time.perf_counter()
+            arrays = self._read_pages()
+            self.page_in_s += time.perf_counter() - t0
+            self._install(arrays)
 
     def preload(self) -> PreloadedShard | None:
         """Snapshot the spill files into plain arrays, mutating nothing.
@@ -613,14 +795,25 @@ class DiskStore(HostStore):
         the training thread renders; the snapshot is handed back to
         :meth:`adopt` on the training thread. Returns ``None`` when the
         store is already resident. A spill racing the read leaves a torn
-        snapshot — the epoch check in :meth:`adopt` discards it.
+        snapshot — the epoch check in :meth:`adopt` discards it. A queued
+        write-behind page-out short-circuits the read: the detached
+        arrays *are* the page.
         """
         with self._page_lock:
             if self._resident:
                 return None
             epoch = self._spill_epoch
-        # read outside the lock: this is the I/O being overlapped
-        arrays = {f: np.array(self._mm[f]) for f in ("params", "m", "v")}
+            if self._pending_write is not None:
+                return PreloadedShard(
+                    arrays=dict(self._pending_write), epoch=epoch
+                )
+        # read outside the lock: this is the I/O being overlapped; a torn
+        # encoded page (concurrent write) can fail to decode outright,
+        # which is the same stale-snapshot case the epoch check covers
+        try:
+            arrays = self._read_pages()
+        except Exception:
+            return None
         return PreloadedShard(arrays=arrays, epoch=epoch)
 
     def adopt(self, pre: PreloadedShard) -> bool:
@@ -695,30 +888,47 @@ class DiskStore(HostStore):
 
     # -- checkpointing (works from spilled state) --------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
-        if self._resident:
-            return super().state_dict()
-        # spilled: hand out the memmap views so a checkpoint can serialize
-        # the store without materializing it in host memory
-        state = {
-            "params": self._mm["params"],
-            "m": self._mm["m"],
-            "v": self._mm["v"],
-            "steps": np.array(self.optimizer.step_count),
-        }
-        if self.deferred:
-            state["counter"] = self.optimizer.counter
-        return state
+        with self._page_lock:
+            if self._resident:
+                return super().state_dict()
+            if self._pending_write is not None:
+                # a queued write-behind page-out: the detached arrays are
+                # the authoritative state (the file may not exist yet)
+                state = dict(self._pending_write)
+            elif self.codec.name == "raw":
+                # hand out the memmap views so a checkpoint can serialize
+                # the store without materializing it in host memory
+                state = {f: self._mm[f] for f in ("params", "m", "v")}
+            else:
+                # spilled compressed pages checkpoint in their storage
+                # dtype (float16 blocks for the float16 codec) — the lazy
+                # CheckpointReader reassembles mixed-dtype blocks
+                storage = self.codec.storage_dtype or self._dtype
+                pages = {}
+                for field, path in self._page_files.items():
+                    with open(path, "rb") as fh:
+                        buf = fh.read()
+                    pages[field] = self.codec.decode(
+                        buf, (self._n, self._d), storage
+                    )
+                state = pages
+            state["steps"] = np.array(self.optimizer.step_count)
+            if self.deferred:
+                state["counter"] = self.optimizer.counter
+            return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         with self._page_lock:
             if self._resident:
                 super().load_state_dict(state)
                 return
-            self._mm["params"][...] = state["params"]
-            self._mm["m"][...] = state["m"]
-            self._mm["v"][...] = state["v"]
-            for mm in self._mm.values():
-                mm.flush()
+            # the incoming state supersedes any queued page-out
+            self._pending_write = None
+            self._pending_encoded = None
+            self._write_pages({
+                field: np.asarray(state[field], dtype=self._dtype)
+                for field in ("params", "m", "v")
+            })
             # the spill files changed under any outstanding preload
             # snapshot: bump the epoch so adopt() rejects it
             self._spill_epoch += 1

@@ -75,6 +75,7 @@ from .stores import (
     ParameterStore,
     ResidentSet,
     ShardedStore,
+    _WriteBehindWriter,
 )
 
 
@@ -87,6 +88,13 @@ class TransferLedger:
     out-of-core tier spilling and prefetching shard state). A ledger built
     with a ``parent`` mirrors every record into it, so per-shard ledgers
     roll up into the system-wide ledger the trainer reads.
+
+    The disk channel meters two sizes per transfer: ``page_*_bytes`` is
+    the decoded working-set size (fp32-equivalent accounting, what the
+    host gains or frees), while ``page_*_disk_bytes`` is what actually
+    crossed the disk interface — smaller when the store's page codec
+    compresses. ``page_in_bytes / page_in_disk_bytes`` is the effective
+    disk-bandwidth multiplier the codec buys.
     """
 
     h2d_bytes: int = 0
@@ -97,6 +105,8 @@ class TransferLedger:
     page_out_bytes: int = 0
     page_in_count: int = 0
     page_out_count: int = 0
+    page_in_disk_bytes: int = 0
+    page_out_disk_bytes: int = 0
     parent: "TransferLedger | None" = None
 
     def record_h2d(self, num_bytes: int) -> None:
@@ -113,19 +123,25 @@ class TransferLedger:
         if self.parent is not None:
             self.parent.record_d2h(num_bytes)
 
-    def record_page_in(self, num_bytes: int) -> None:
-        """Record a disk-to-host page-in (out-of-core prefetch)."""
+    def record_page_in(self, num_bytes: int, disk_bytes: int | None = None) -> None:
+        """Record a disk-to-host page-in (out-of-core prefetch).
+
+        ``disk_bytes`` is the encoded on-disk size; ``None`` means the
+        page was stored uncompressed (disk == decoded).
+        """
         self.page_in_bytes += num_bytes
         self.page_in_count += 1
+        self.page_in_disk_bytes += num_bytes if disk_bytes is None else disk_bytes
         if self.parent is not None:
-            self.parent.record_page_in(num_bytes)
+            self.parent.record_page_in(num_bytes, disk_bytes)
 
-    def record_page_out(self, num_bytes: int) -> None:
+    def record_page_out(self, num_bytes: int, disk_bytes: int | None = None) -> None:
         """Record a host-to-disk page-out (out-of-core spill)."""
         self.page_out_bytes += num_bytes
         self.page_out_count += 1
+        self.page_out_disk_bytes += num_bytes if disk_bytes is None else disk_bytes
         if self.parent is not None:
-            self.parent.record_page_out(num_bytes)
+            self.parent.record_page_out(num_bytes, disk_bytes)
 
 
 @dataclass
@@ -948,25 +964,37 @@ class ShardedGSScaleSystem(TrainingSystem):
 class _AsyncPrefetcher:
     """Background leg of the out-of-core pipeline.
 
-    Given a hint of the next view, a daemon thread predicts its active
-    shards (a cull over the device-resident geometry) and snapshots the
-    spilled ones into host buffers (:meth:`~repro.core.stores.DiskStore.
-    preload`) while the training thread renders the *current* view — the
-    TideGS-style overlap of page traffic with compute. The snapshots are
-    double-buffered: nothing is installed into any store until the
-    training thread reaches the next view's prefetch point and adopts
-    them there, so store state, trackers, and the ledger only ever mutate
-    on the training thread, and a stale prediction (the geometry moved, a
-    racing spill) degrades to the ordinary synchronous page-in. One job
-    is in flight at a time.
+    Given a hint of the upcoming views, a daemon thread predicts their
+    active shards (a cull over the device-resident geometry) and
+    snapshots the spilled ones into host buffers
+    (:meth:`~repro.core.stores.DiskStore.preload`) while the training
+    thread renders the *current* view — the TideGS-style overlap of page
+    traffic with compute. The snapshots are staged per hinted view:
+    nothing is installed into any store until the training thread
+    reaches that view's prefetch point and adopts them there, so store
+    state, trackers, and the ledger only ever mutate on the training
+    thread, and a stale prediction (the geometry moved, a racing spill)
+    degrades to the ordinary synchronous page-in.
+
+    At ``depth == 1`` this is exactly the historical single-slot double
+    buffer: one view staged at a time, the slot drained on every
+    :meth:`take`. At ``depth > 1`` the hint is a lookahead *list*
+    (``locality_view_order`` makes it predictive) and staged views
+    survive :meth:`take` until consumed or dropped from a newer hint —
+    the depth-D staging queue. Host bytes held by the queue are capped
+    at ``depth x resident budget x worst shard state`` (the staging
+    budget); the worker stops staging deeper views at the cap.
     """
 
-    def __init__(self, system: "OutOfCoreGSScaleSystem"):
+    def __init__(self, system: "OutOfCoreGSScaleSystem", depth: int = 1):
         self._system = system
-        self._camera: Camera | None = None
-        self._result: tuple[Camera | None, dict] = (None, {})
-        #: host bytes of the staged double buffer, current and high-water
-        #: (kept here, not on a MemoryTracker: trackers are training-
+        self.depth = depth
+        self._cameras: list[Camera] = []
+        #: staged snapshots keyed by ``id(camera)`` — identity, not
+        #: equality: the trainer hints the very objects it will train on
+        self._results: dict[int, tuple[Camera, dict]] = {}
+        #: host bytes of the staged queue, current and high-water (kept
+        #: here, not on a MemoryTracker: trackers are training-
         #: thread-only, and the buffers are owned by this thread until
         #: adoption — the sim's ``staging_shards`` term models them)
         self.staged_bytes = 0
@@ -980,12 +1008,33 @@ class _AsyncPrefetcher:
         )
         self._thread.start()
 
-    def schedule(self, camera: Camera) -> None:
-        """Start prefetching for ``camera`` (waits out any running job)."""
+    def staging_budget_bytes(self) -> int:
+        """Cap on staged host bytes: depth x resident budget x the worst
+        shard's state size (never binding at depth 1, where a single
+        view can stage at most one budget's worth)."""
+        system = self._system
+        worst = max(
+            (
+                system._nongeo_store(k)._state_bytes()
+                for k in range(system.num_shards)
+            ),
+            default=0,
+        )
+        return self.depth * system.resident_set.budget * worst
+
+    def schedule(self, cameras: list[Camera]) -> None:
+        """Start prefetching for ``cameras``, nearest first (waits out
+        any running job). Staged views absent from the new hint are
+        dropped; views already staged are not re-read."""
         if self._stop:
             return
         self._done.wait()
-        self._camera = camera
+        keep = {id(c) for c in cameras}
+        for key in list(self._results):
+            if key not in keep:
+                del self._results[key]
+        self._refresh_staged()
+        self._cameras = [c for c in cameras if id(c) not in self._results]
         self._done.clear()
         self._have_job.set()
 
@@ -993,15 +1042,17 @@ class _AsyncPrefetcher:
         """``(matched, buffers)`` for ``camera``.
 
         ``matched`` says a staging job ran for exactly this view — the
-        denominator of any hit/miss accounting. Buffers staged for a
-        different view are discarded.
+        denominator of any hit/miss accounting. At depth 1 any other
+        staged view is discarded (the double-buffer contract); at
+        depth > 1 deeper views stay queued for their own take.
         """
         self._done.wait()
-        hinted, buffers = self._result
-        self._result = (None, {})
-        self.staged_bytes = 0
-        if hinted is camera:
-            return True, buffers
+        entry = self._results.pop(id(camera), None)
+        if self.depth == 1:
+            self._results.clear()
+        self._refresh_staged()
+        if entry is not None:
+            return True, entry[1]
         return False, {}
 
     def close(self) -> None:
@@ -1010,6 +1061,16 @@ class _AsyncPrefetcher:
         self._have_job.set()
         self._thread.join(timeout=5.0)
 
+    def _refresh_staged(self) -> None:
+        # fp32-equivalent units, like every MemoryTracker in the repo
+        system = self._system
+        self.staged_bytes = sum(
+            system._nongeo_store(k)._state_bytes()
+            for _, buffers in self._results.values()
+            for k in buffers
+        )
+        self.peak_staged_bytes = max(self.peak_staged_bytes, self.staged_bytes)
+
     def _run(self) -> None:
         while True:
             self._have_job.wait()
@@ -1017,19 +1078,21 @@ class _AsyncPrefetcher:
             if self._stop:
                 self._done.set()
                 return
-            camera = self._camera
-            try:
-                # fork guard: a parallel-raster pool must never fork
-                # while this thread is mid-read (inherited half-held
-                # locks would wedge the child workers)
-                with pool_fork_guard:
-                    buffers = self._prepare(camera)
-            except Exception:
-                buffers = {}  # a failed prefetch is just a cache miss
-            self._result = (camera, buffers)
+            cap = self.staging_budget_bytes()
+            for camera in self._cameras:
+                try:
+                    # fork guard: a parallel-raster pool must never fork
+                    # while this thread is mid-read (inherited half-held
+                    # locks would wedge the child workers)
+                    with pool_fork_guard:
+                        buffers = self._prepare(camera, cap)
+                except Exception:
+                    buffers = {}  # a failed prefetch is just a cache miss
+                self._results[id(camera)] = (camera, buffers)
+                self._refresh_staged()
             self._done.set()
 
-    def _prepare(self, camera: Camera) -> dict:
+    def _prepare(self, camera: Camera, cap: int) -> dict:
         system = self._system
         active = [
             k
@@ -1037,15 +1100,16 @@ class _AsyncPrefetcher:
             if frustum_cull(*system._shard_geometry(k), camera).num_visible
         ]
         buffers = {}
+        total = self.staged_bytes
         for k in active[: system.resident_set.budget]:
-            pre = system._nongeo_store(k).preload()
+            store = system._nongeo_store(k)
+            cost = store._state_bytes()
+            if total + cost > cap:
+                break  # staging deeper would blow the host budget
+            pre = store.preload()
             if pre is not None:
                 buffers[k] = pre
-        # fp32-equivalent units, like every MemoryTracker in the repo
-        self.staged_bytes = sum(
-            system._nongeo_store(k)._state_bytes() for k in buffers
-        )
-        self.peak_staged_bytes = max(self.peak_staged_bytes, self.staged_bytes)
+                total += cost
         return buffers
 
 
@@ -1066,6 +1130,16 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
     unsaturated defer counters tick without paging at all), then spills
     whatever the view did not touch. Placement changes accounting, never
     numerics: the run is bit-identical to the in-memory sharded system.
+
+    Three deep-tier knobs extend the leg (all default-off, preserving the
+    bit-identity above): ``page_codec`` stores spilled pages compressed
+    (see :mod:`repro.core.pagecodec`; ``lossless`` keeps bit-identity,
+    ``float16`` trades tolerance-bounded drift for a 2x smaller disk
+    leg), ``prefetch_depth`` widens the async leg's lookahead to a
+    depth-D staging queue, and ``write_behind`` moves dirty page-outs to
+    a background writer (epoch-fenced against :meth:`~repro.core.stores.
+    DiskStore.adopt` and drained before densification rebuilds and
+    checkpoints) so the admit path stops paying the write.
     """
 
     name = "outofcore"
@@ -1088,10 +1162,28 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
         self._cull_cache: tuple[Camera, CullResult] | None = None
         self.prefetch_hits = 0
         self.prefetch_misses = 0
-        self._pending_hint: Camera | None = None
-        self._close_prefetcher()  # rebuild: the old thread targets old stores
+        self._pending_hints: list[Camera] = []
+        self._scheduled_hints: list[Camera] = []
+        # rebuild fences: the old prefetch thread targets old stores, and
+        # every queued page-out must land before the spill files are
+        # reused by the new stores
+        self._close_prefetcher()
+        self._sync_spill_carryover = getattr(self, "_sync_spill_carryover", 0)
+        self._sync_spill_s_carryover = getattr(self, "_sync_spill_s_carryover", 0.0)
+        self._write_behind_carryover = getattr(self, "_write_behind_carryover", 0)
+        if getattr(self, "store", None) is not None:
+            for k in range(self.num_shards):
+                st = self._nongeo_store(k)
+                self._sync_spill_carryover += st.sync_spill_bytes
+                self._sync_spill_s_carryover += st.sync_spill_s
+        self._close_writer()
         self._prefetch_staged_peak = 0  # rebuild resets accounting, like trackers
-        self._prefetcher = _AsyncPrefetcher(self) if cfg.async_prefetch else None
+        self._prefetcher = (
+            _AsyncPrefetcher(self, depth=cfg.prefetch_depth)
+            if cfg.async_prefetch
+            else None
+        )
+        self._writer = _WriteBehindWriter() if cfg.write_behind else None
         super()._setup(model)
 
     @property
@@ -1119,6 +1211,65 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
             prefetcher.close()
             self._prefetcher = None
 
+    def _close_writer(self) -> None:
+        """Drain and stop the write-behind writer (idempotent).
+
+        The fence of the write-behind contract: after this returns every
+        queued page-out has landed on disk (or its epoch went stale and
+        was skipped), so checkpoints and densification rebuilds never
+        race an in-flight write. Spills afterwards fall back to the
+        synchronous path.
+        """
+        writer = getattr(self, "_writer", None)
+        if writer is None:
+            return
+        self._writer = None
+        if getattr(self, "store", None) is not None:
+            for k in range(self.num_shards):
+                self._nongeo_store(k).writer = None
+        writer.close()
+        self._write_behind_carryover = (
+            getattr(self, "_write_behind_carryover", 0) + writer.jobs_written
+        )
+
+    @property
+    def sync_spill_bytes(self) -> int:
+        """Decoded bytes spilled *synchronously* on the training thread,
+        cumulative across densification rebuilds — the admit-path disk
+        stall in deterministic byte units. Write-behind runs keep this at
+        zero (every page-out rides the background writer); synchronous
+        runs accumulate the full page-out traffic here."""
+        total = getattr(self, "_sync_spill_carryover", 0)
+        if getattr(self, "store", None) is not None:
+            total += sum(
+                self._nongeo_store(k).sync_spill_bytes
+                for k in range(self.num_shards)
+            )
+        return total
+
+    @property
+    def sync_spill_seconds(self) -> float:
+        """Wall-clock seconds the training thread spent in synchronous
+        page-out writes (informational; byte counters are the
+        deterministic comparison)."""
+        total = getattr(self, "_sync_spill_s_carryover", 0.0)
+        if getattr(self, "store", None) is not None:
+            total += sum(
+                self._nongeo_store(k).sync_spill_s
+                for k in range(self.num_shards)
+            )
+        return total
+
+    @property
+    def write_behind_jobs(self) -> int:
+        """Page-outs completed by the background writer, cumulative
+        across rebuilds (0 unless ``write_behind`` is on)."""
+        total = getattr(self, "_write_behind_carryover", 0)
+        writer = getattr(self, "_writer", None)
+        if writer is not None:
+            total += writer.jobs_written
+        return total
+
     def _make_nongeo_store(
         self,
         params_block: np.ndarray,
@@ -1141,6 +1292,8 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
             forwarding=True,
             deferred=True,
             max_defer=cfg.max_defer,
+            codec=cfg.page_codec,
+            writer=self._writer,
         )
 
     # -- spill / prefetch lifecycle ---------------------------------------
@@ -1165,8 +1318,20 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
         is a no-op, so callers can hint unconditionally (the
         :class:`~repro.core.trainer.Trainer` does).
         """
+        self.hint_upcoming_views([camera])
+
+    def hint_upcoming_views(self, cameras: list[Camera]) -> None:
+        """Tell the async prefetch leg the next several views, nearest
+        first — the depth-D generalization of :meth:`hint_next_view`.
+        Only the first ``prefetch_depth`` upcoming views are staged."""
         if self._prefetcher is not None:
-            self._pending_hint = camera
+            self._pending_hints = list(cameras)
+
+    @property
+    def prefetch_depth(self) -> int:
+        """Lookahead depth of the async staging queue (1 = the classic
+        double buffer; 0 shown when the async leg is off)."""
+        return self._prefetcher.depth if self._prefetcher is not None else 0
 
     def prefetch(self, camera: Camera) -> list[int]:
         """Page in the view's active shards (up to the resident budget).
@@ -1196,17 +1361,25 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
             if pre is not None and store.adopt(pre):
                 self.prefetch_hits += 1
                 continue
-            # a miss only when the async leg had its chance: a staging
-            # job ran for this very view and still failed to cover the
-            # shard (stale snapshot, wrong prediction, racing spill)
-            if hinted and not store.is_resident:
+            if hinted and store.is_resident:
+                # already resident at a hinted view: the retention the
+                # depth-D queue buys (the shard never left host DRAM), as
+                # much a staging hit as an adopted snapshot
+                self.prefetch_hits += 1
+            elif hinted:
+                # a miss only when the async leg had its chance: a staging
+                # job ran for this very view and still failed to cover the
+                # shard (stale snapshot, wrong prediction, racing spill)
                 self.prefetch_misses += 1
             store.page_in()
         # this view's working set is settled: start staging the hinted
-        # next view in the background, overlapped with the render
-        if self._prefetcher is not None and self._pending_hint is not None:
-            nxt, self._pending_hint = self._pending_hint, None
-            if nxt is not camera:
+        # upcoming views in the background, overlapped with the render
+        self._scheduled_hints = []
+        if self._prefetcher is not None and self._pending_hints:
+            hints, self._pending_hints = self._pending_hints, []
+            nxt = [c for c in hints if c is not camera][: self._prefetcher.depth]
+            if nxt:
+                self._scheduled_hints = nxt
                 self._prefetcher.schedule(nxt)
         return active
 
@@ -1218,8 +1391,24 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
         return super()._cull(camera)
 
     def spill_inactive(self, active: list[int]) -> None:
-        """Spill every resident shard the view left untouched."""
+        """Spill every resident shard the view left untouched.
+
+        At ``prefetch_depth > 1`` the scheduled lookahead also protects
+        shards the *upcoming* views need (nearest view first, while the
+        keep-set stays inside the resident budget): spilling a shard the
+        staging queue just snapshotted — or that the next view will page
+        right back in — is the D=1 thrash the depth-D queue exists to
+        avoid. Depth 1 keeps the historical behavior exactly.
+        """
         keep = set(active)
+        if self._prefetcher is not None and self._prefetcher.depth > 1:
+            for cam in self._scheduled_hints:
+                if len(keep) >= self.resident_set.budget:
+                    break
+                for k in self.active_shard_ids(cam):
+                    if len(keep) >= self.resident_set.budget:
+                        break
+                    keep.add(k)
         for k in range(self.num_shards):
             store = self._nongeo_store(k)
             if k not in keep and store.is_resident:
@@ -1237,10 +1426,21 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
     def finalize(self) -> None:
         self._close_prefetcher()
         super().finalize()
+        # the checkpoint fence: save_checkpoint finalizes first, so every
+        # queued page-out (including ones the flush's own evictions just
+        # enqueued) lands before any state is serialized. Drain, don't
+        # close: training may continue (mid-run checkpoints, densify).
+        writer = getattr(self, "_writer", None)
+        if writer is not None:
+            writer.drain()
 
     def __del__(self):
         try:
             self._close_prefetcher()
+        except Exception:
+            pass
+        try:
+            self._close_writer()
         except Exception:
             pass
         super().__del__()

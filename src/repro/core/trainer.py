@@ -164,13 +164,25 @@ class Trainer:
         else:
             order = np.arange(len(cameras))
         hints = hasattr(self.system, "hint_next_view")
+        depth = getattr(self.system, "prefetch_depth", 1)
+        deep_hints = depth > 1 and hasattr(self.system, "hint_upcoming_views")
 
         for it in range(iterations):
             pos = it % len(cameras)
             if pos == 0 and shuffle:
                 rng.shuffle(order)
             view = order[pos]
-            if hints and it + 1 < iterations:
+            if deep_hints and it + 1 < iterations:
+                # depth-D overlap: hand the system the next D views of
+                # the schedule (locality order makes the deeper entries
+                # worth staging), nearest first
+                self.system.hint_upcoming_views(
+                    [
+                        cameras[order[(it + 1 + j) % len(cameras)]]
+                        for j in range(min(depth, iterations - it - 1))
+                    ]
+                )
+            elif hints and it + 1 < iterations:
                 # overlap leg: let the system stage the next view's
                 # shards while this view renders (exact for the steady
                 # in-epoch case; a wrong guess is only a cache miss)

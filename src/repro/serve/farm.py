@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cameras.camera import Camera
+from ..core.pagecodec import get_page_codec
 from ..gaussians import layout
 from ..gaussians.model import GaussianModel
 from ..render import (
@@ -123,12 +124,23 @@ class _WorkerPagedStore:
     def _page(self, k: int) -> np.ndarray:
         page = self._pages.get(k)
         if page is None:
-            path, num_rows = self._specs[k]
+            path, num_rows, codec_name = self._specs[k]
             if num_rows and path:
-                page = np.memmap(
-                    path, dtype=self.dtype, mode="r",
-                    shape=(num_rows, layout.NON_GEOMETRIC_DIM),
-                )
+                if codec_name == "raw":
+                    page = np.memmap(
+                        path, dtype=self.dtype, mode="r",
+                        shape=(num_rows, layout.NON_GEOMETRIC_DIM),
+                    )
+                else:
+                    # an encoded page is a whole-file read + decode (no
+                    # partial mapping), still read-only on the worker
+                    with open(path, "rb") as fh:
+                        buf = fh.read()
+                    page = get_page_codec(codec_name).decode(
+                        buf,
+                        (num_rows, layout.NON_GEOMETRIC_DIM),
+                        self.dtype,
+                    )
             else:
                 page = np.empty(
                     (0, layout.NON_GEOMETRIC_DIM), dtype=self.dtype
@@ -270,7 +282,7 @@ class RenderFarm:
         self._store: ServingStore | None = None
         self._drop_level: np.ndarray | None = None
         self._sharded = False
-        self._page_specs: list[tuple[str, int]] | None = None
+        self._page_specs: list[tuple[str, int, str]] | None = None
 
     @property
     def published(self) -> bool:

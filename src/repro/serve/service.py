@@ -199,6 +199,7 @@ class RenderService:
         host_budget_bytes: int | None = None,
         num_shards: int = 4,
         page_dir: str | None = None,
+        codec: str = "raw",
         **kwargs,
     ) -> "RenderService":
         """Open a trained checkpoint for serving.
@@ -206,15 +207,17 @@ class RenderService:
         With ``host_budget_bytes`` set, the checkpoint streams into a
         :class:`~repro.serve.store.PagedServingStore` (read-only open,
         no full materialization — see
-        :class:`~repro.core.checkpoint.CheckpointReader`); otherwise the
-        committed model loads in-memory.
+        :class:`~repro.core.checkpoint.CheckpointReader`); ``codec``
+        then selects the on-disk page encoding (half-size ``"float16"``
+        pages halve the budget's disk traffic). Otherwise the committed
+        model loads in-memory.
         """
         if host_budget_bytes is None:
             store: ServingStore = InMemoryServingStore.from_checkpoint(path)
         else:
             store = PagedServingStore.from_checkpoint(
                 path, host_budget_bytes,
-                num_shards=num_shards, page_dir=page_dir,
+                num_shards=num_shards, page_dir=page_dir, codec=codec,
             )
         return cls(store, **kwargs)
 

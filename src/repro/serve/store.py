@@ -33,6 +33,7 @@ import tempfile
 import numpy as np
 
 from ..core.checkpoint import CheckpointReader
+from ..core.pagecodec import get_page_codec
 from ..core.splitting import spatial_partition
 from ..core.stores import ResidentSet
 from ..core.systems import TransferLedger
@@ -147,12 +148,21 @@ class _ServeShard:
         self._store = store
         self.index = index
         self.num_rows = num_rows
+        self.codec = store.codec
+        #: encoded on-disk bytes of the sealed page (0 = raw/unsealed:
+        #: the ledger then meters fp32-equivalent bytes on both sides)
+        self.disk_nbytes = 0
+        self.page_path = ""
         if num_rows:
+            # the build buffer is always a raw memmap — checkpoint blocks
+            # stream into it incrementally; :meth:`seal` encodes it once
+            # building is done (non-raw codecs only)
             path = os.path.join(store.page_dir, f"serve_shard{index}.dat")
             self._mm = np.memmap(
                 path, dtype=store.dtype, mode="w+",
                 shape=(num_rows, layout.NON_GEOMETRIC_DIM),
             )
+            self.page_path = path
         else:  # zero bytes cannot be memory-mapped
             self._mm = np.empty(
                 (0, layout.NON_GEOMETRIC_DIM), dtype=store.dtype
@@ -163,6 +173,38 @@ class _ServeShard:
         """Flush the page file (no-op for an empty shard)."""
         if isinstance(self._mm, np.memmap):
             self._mm.flush()
+
+    def seal(self) -> None:
+        """Finish building: under a non-raw codec, encode the build
+        memmap into the shard's page file and delete the raw buffer
+        (serving then decodes whole pages); raw pages just flush. One
+        shard's rows are transient at a time."""
+        if self.codec.name == "raw" or not self.num_rows:
+            self.flush()
+            return
+        buf = self.codec.encode(np.asarray(self._mm))
+        enc_path = os.path.join(
+            self._store.page_dir,
+            f"serve_shard{self.index}.{self.codec.name}.pagez",
+        )
+        with open(enc_path, "wb") as fh:
+            fh.write(buf)
+        build_path = self.page_path
+        self._mm = None
+        os.remove(build_path)
+        self.page_path = enc_path
+        self.disk_nbytes = len(buf)
+
+    def _read_page(self) -> np.ndarray:
+        if self._mm is not None:  # raw (or not yet sealed)
+            return np.array(self._mm)
+        with open(self.page_path, "rb") as fh:
+            buf = fh.read()
+        return self.codec.decode(
+            buf,
+            (self.num_rows, layout.NON_GEOMETRIC_DIM),
+            self._store.dtype,
+        )
 
     @property
     def is_resident(self) -> bool:
@@ -175,6 +217,10 @@ class _ServeShard:
 
     def write(self, local_rows, values: np.ndarray) -> None:
         """Fill page-file rows (build time only, before serving starts)."""
+        if self._mm is None:
+            raise RuntimeError(
+                f"serve shard {self.index} is sealed; pages are read-only"
+            )
         self._mm[local_rows] = values
         self.flush()
 
@@ -185,9 +231,11 @@ class _ServeShard:
             store.resident_set.touch(self)
             return
         store.resident_set.admit(self)  # spills the LRU shard first
-        self.values = np.array(self._mm)
+        self.values = self._read_page()
         store.host_memory.allocate("serve_resident_shards", self.state_bytes)
-        store.ledger.record_page_in(self.state_bytes)
+        store.ledger.record_page_in(
+            self.state_bytes, self.disk_nbytes or None
+        )
 
     def spill(self) -> None:
         """Drop the host copy (the page file stays authoritative)."""
@@ -197,7 +245,8 @@ class _ServeShard:
         self.values = None
         store.resident_set.drop(self)
         store.host_memory.free("serve_resident_shards", self.state_bytes)
-        store.ledger.record_page_out(self.state_bytes)
+        # serving pages are immutable: a spill writes nothing to disk
+        store.ledger.record_page_out(self.state_bytes, 0)
 
 
 class PagedServingStore(ServingStore):
@@ -224,6 +273,11 @@ class PagedServingStore(ServingStore):
             that dies with the store when ``None``).
         ledger: transfer ledger for the page channel (fresh when
             ``None``).
+        codec: page codec name (see :mod:`repro.core.pagecodec`). Under
+            a non-raw codec each shard's page is stored encoded (sealed
+            once building finishes) and decoded on page-in; the ledger's
+            ``page_in_disk_bytes`` then meters the encoded size next to
+            the fp32-equivalent ``page_in_bytes``.
     """
 
     def __init__(
@@ -233,12 +287,14 @@ class PagedServingStore(ServingStore):
         host_budget_bytes: int,
         page_dir: str | None = None,
         ledger: TransferLedger | None = None,
+        codec: str = "raw",
     ):
         if geo.ndim != 2 or geo.shape[1] != layout.GEOMETRIC_DIM:
             raise ValueError(
                 f"geo must be (N, {layout.GEOMETRIC_DIM}), got {geo.shape}"
             )
         self.geo = np.ascontiguousarray(geo)
+        self.codec = get_page_codec(codec)
         self.shard_rows = [np.asarray(r, dtype=np.int64) for r in shard_rows]
         if int(sum(r.size for r in self.shard_rows)) != geo.shape[0]:
             raise ValueError("shard rows must partition the model's rows")
@@ -271,6 +327,12 @@ class PagedServingStore(ServingStore):
         ]
 
     # -- construction ------------------------------------------------------
+    def seal(self) -> None:
+        """Finish building every shard page (encode under a non-raw
+        codec); pages are read-only afterwards."""
+        for shard in self.shards:
+            shard.seal()
+
     @classmethod
     def from_model(
         cls,
@@ -279,6 +341,7 @@ class PagedServingStore(ServingStore):
         num_shards: int = 4,
         page_dir: str | None = None,
         ledger: TransferLedger | None = None,
+        codec: str = "raw",
     ) -> "PagedServingStore":
         """Shard a in-memory model into page files and serve it paged."""
         params = model.params
@@ -291,10 +354,12 @@ class PagedServingStore(ServingStore):
             host_budget_bytes,
             page_dir=page_dir,
             ledger=ledger,
+            codec=codec,
         )
         for shard, rows in zip(store.shards, store.shard_rows):
             if rows.size:
                 shard.write(slice(None), params[rows][:, layout.NON_GEOMETRIC_SLICE])
+        store.seal()
         return store
 
     @classmethod
@@ -305,6 +370,7 @@ class PagedServingStore(ServingStore):
         num_shards: int = 4,
         page_dir: str | None = None,
         ledger: TransferLedger | None = None,
+        codec: str = "raw",
     ) -> "PagedServingStore":
         """Open a trained checkpoint for paged serving.
 
@@ -322,7 +388,7 @@ class PagedServingStore(ServingStore):
             )
             store = cls(
                 geo, shard_rows, host_budget_bytes,
-                page_dir=page_dir, ledger=ledger,
+                page_dir=page_dir, ledger=ledger, codec=codec,
             )
             # global row -> (owning serve shard, local row)
             n = reader.num_gaussians
@@ -341,8 +407,7 @@ class PagedServingStore(ServingStore):
                 for k in np.unique(shard_of[rows]):
                     sel = shard_of[rows] == k
                     store.shards[k]._mm[local_of[rows[sel]], cols] = values[sel]
-            for shard in store.shards:
-                shard.flush()
+            store.seal()
         return store
 
     # -- serving surface ---------------------------------------------------
@@ -396,19 +461,24 @@ class PagedServingStore(ServingStore):
         out[:, layout.NON_GEOMETRIC_SLICE] = shard.values[local]
         return out
 
-    def page_paths(self) -> list[tuple[str, int]]:
-        """``(page file path, row count)`` per shard (``""`` when empty).
+    def page_paths(self) -> list[tuple[str, int, str]]:
+        """``(page file path, row count, codec name)`` per shard (path
+        ``""`` when empty).
 
         The render farm's sharded publish hands these to its workers,
-        which re-open the pages read-only instead of receiving a packed
-        copy of the model.
+        which re-open the pages read-only — memory-mapping raw pages,
+        decoding encoded ones — instead of receiving a packed copy of
+        the model.
         """
-        specs: list[tuple[str, int]] = []
+        specs: list[tuple[str, int, str]] = []
         for shard in self.shards:
-            if shard.num_rows and isinstance(shard._mm, np.memmap):
-                specs.append((str(shard._mm.filename), shard.num_rows))
+            if shard.num_rows and shard.page_path:
+                # an unsealed non-raw shard still serves its raw build
+                # memmap; only a sealed page needs the worker to decode
+                name = "raw" if shard._mm is not None else shard.codec.name
+                specs.append((shard.page_path, shard.num_rows, name))
             else:
-                specs.append(("", shard.num_rows))
+                specs.append(("", shard.num_rows, "raw"))
         return specs
 
     def close(self) -> None:

@@ -232,43 +232,57 @@ def outofcore_host_state_bytes(
     num_shards: int = DEFAULT_OUTOFCORE_SHARDS,
     resident_shards: int = DEFAULT_RESIDENT_SHARDS,
     staging_shards: int = 0,
+    pending_writes: int = 0,
 ) -> int:
     """Host DRAM floor of the out-of-core system.
 
     Only the resident shards' non-geometric training state occupies host
     memory; the defer counters of *every* shard stay resident (1 byte per
     Gaussian — they are what lets a spilled shard tick without paging).
-    ``staging_shards`` adds the async prefetch leg's double buffer: while
+    ``staging_shards`` adds the async prefetch leg's staging queue: while
     the current view renders, up to that many preloaded shard snapshots
     (parameters + both Adam moments, no gradients) sit in host memory
-    waiting to be adopted.
+    waiting to be adopted — ``prefetch_depth x resident_shards`` bounds
+    it for a depth-D queue. ``pending_writes`` adds the write-behind
+    term: detached working sets (same 3 copies) queued for the
+    background writer but not yet landed on disk.
     """
     if not 1 <= resident_shards:
         raise ValueError("resident_shards must be >= 1")
     if staging_shards < 0:
         raise ValueError("staging_shards must be >= 0")
+    if pending_writes < 0:
+        raise ValueError("pending_writes must be >= 0")
     per_shard = -(-num_gaussians // num_shards)  # ceil: worst shards
     resident_rows = min(resident_shards, num_shards) * per_shard
     state = layout.train_state_bytes(resident_rows, layout.NON_GEOMETRIC_DIM)
     staging_rows = min(staging_shards, num_shards) * per_shard
     staging = 3 * layout.param_bytes(staging_rows, layout.NON_GEOMETRIC_DIM)
+    pending_rows = min(pending_writes, num_shards) * per_shard
+    pending = 3 * layout.param_bytes(pending_rows, layout.NON_GEOMETRIC_DIM)
     counters = num_gaussians
-    return state + staging + counters
+    return state + staging + pending + counters
 
 
 def disk_state_bytes(
     num_gaussians: int,
     num_shards: int = DEFAULT_OUTOFCORE_SHARDS,
     resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+    page_compression_ratio: float = 1.0,
 ) -> int:
     """Bytes of training state the out-of-core system keeps on disk.
 
     The spilled shards' non-geometric parameters and both Adam moments
-    (3 float copies — gradients never reach the disk tier).
+    (3 float copies — gradients never reach the disk tier), divided by
+    the page codec's compression ratio (1.0 = raw pages; the ``float16``
+    codec gives exactly 2.0 against fp32-equivalent accounting).
     """
+    if page_compression_ratio <= 0:
+        raise ValueError("page_compression_ratio must be > 0")
     per_shard = -(-num_gaussians // num_shards)
     spilled_rows = max(num_shards - resident_shards, 0) * per_shard
-    return 3 * layout.param_bytes(spilled_rows, layout.NON_GEOMETRIC_DIM)
+    raw = 3 * layout.param_bytes(spilled_rows, layout.NON_GEOMETRIC_DIM)
+    return int(raw / page_compression_ratio)
 
 
 def host_state_bytes(num_gaussians: int, system: str) -> int:

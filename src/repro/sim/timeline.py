@@ -137,8 +137,16 @@ def simulate_iteration(
     mem_limit: float = 0.3,
     num_shards: int = DEFAULT_NUM_SHARDS,
     resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+    page_compression_ratio: float = 1.0,
+    write_behind: bool = False,
 ) -> IterationSim:
-    """Simulate one training iteration under ``system``."""
+    """Simulate one training iteration under ``system``.
+
+    ``page_compression_ratio`` scales the out-of-core tier's disk traffic
+    (2.0 models the ``float16`` page codec); ``write_behind`` moves the
+    page-out half of each swap off the admit path onto a background
+    writer. Both are no-ops for the non-paging systems.
+    """
     n_active = int(n_total * active_ratio)
     splits = _num_sub_passes(active_ratio, mem_limit, system)
 
@@ -163,11 +171,15 @@ def simulate_iteration(
         return _sim_sharded(
             cost, n_total, n_active, num_pixels, splits, num_shards,
             resident_shards=resident_shards,
+            page_compression_ratio=page_compression_ratio,
+            write_behind=write_behind,
         )
     if system == "outofcore_async":
         return _sim_sharded(
             cost, n_total, n_active, num_pixels, splits, num_shards,
             resident_shards=resident_shards, async_prefetch=True,
+            page_compression_ratio=page_compression_ratio,
+            write_behind=write_behind,
         )
     raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
 
@@ -309,6 +321,8 @@ def _sim_sharded(
     num_shards: int,
     resident_shards: int | None = None,
     async_prefetch: bool = False,
+    page_compression_ratio: float = 1.0,
+    write_behind: bool = False,
 ) -> IterationSim:
     """K-device Gaussian-sharded GS-Scale (Grendel-style schedule).
 
@@ -334,6 +348,14 @@ def _sim_sharded(
     preload of the functional engine): only the residual past the
     slowest compute/transfer leg stalls the iteration. Both report the
     stalled portion as ``breakdown["disk_stall"]``.
+
+    ``page_compression_ratio`` divides the paged bytes (the page codec
+    shrinks what actually crosses the disk interface; the deep tier's
+    ``float16`` codec gives exactly 2.0). ``write_behind`` removes the
+    page-out half of every swap from the critical path: the background
+    writer lands evicted pages while the trainer runs, so only the
+    page-in half can stall — the full round-trip still shows up in
+    ``breakdown["disk"]`` (the device is busy either way).
     """
     dim = layout.NON_GEOMETRIC_DIM
     shard_total = -(-n_total // num_shards)
@@ -370,7 +392,10 @@ def _sim_sharded(
 
     # disk leg (out-of-core tier only)
     disk_leg = 0.0
+    disk_in_leg = 0.0
     if resident_shards is not None:
+        if page_compression_ratio <= 0:
+            raise ValueError("page_compression_ratio must be > 0")
         shard_state = 3 * layout.param_bytes(shard_total, dim)  # params+m+v
         active_shards = min(
             num_shards, max(1, int(np.ceil(n_active / max(n_total, 1) * num_shards)))
@@ -378,22 +403,29 @@ def _sim_sharded(
         view_swaps = max(active_shards - resident_shards, 0) / OUTOFCORE_VIEW_LOCALITY
         spilled = max(num_shards - resident_shards, 0)
         saturation_swaps = spilled * SATURATION_FRACTION
-        disk_bytes = PAGE_ROUNDTRIP * (view_swaps + saturation_swaps) * shard_state
+        disk_bytes = (
+            PAGE_ROUNDTRIP * (view_swaps + saturation_swaps) * shard_state
+            / page_compression_ratio
+        )
         disk_leg = cost.disk_page(disk_bytes)
+        # the page-in half of every swap: all a write-behind schedule can
+        # still stall on (evictions land in the background)
+        disk_in_leg = cost.disk_page(disk_bytes / PAGE_ROUNDTRIP)
 
     split_overhead = (splits - 1) * ITERATION_OVERHEAD_S
     sync = SHARD_SYNC_OVERHEAD_S if num_shards > 1 else 0.0
     slowest_leg = max(gpu_leg, cpu_leg, pcie_leg)
+    critical_disk = disk_in_leg if write_behind else disk_leg
     if resident_shards is None:
         disk_stall = 0.0
     elif async_prefetch:
         # the background preload hides page traffic behind whichever leg
         # bounds the iteration; only the residual stalls
-        disk_stall = max(0.0, disk_leg - slowest_leg)
+        disk_stall = max(0.0, critical_disk - slowest_leg)
     else:
-        # synchronous paging: staging waits for the page-ins, page-outs
-        # block the next admit — the full disk leg is critical-path
-        disk_stall = disk_leg
+        # synchronous paging: staging waits for the page-ins; without
+        # write-behind the page-outs also block the next admit
+        disk_stall = critical_disk
     time = (
         slowest_leg
         + disk_stall
@@ -494,8 +526,15 @@ def simulate_epoch(
     system: str,
     num_pixels: int,
     mem_limit: float = 0.3,
+    page_compression_ratio: float = 1.0,
+    write_behind: bool = False,
 ) -> EpochResult:
-    """Run one epoch of ``trace`` through ``system`` on ``platform``."""
+    """Run one epoch of ``trace`` through ``system`` on ``platform``.
+
+    ``page_compression_ratio`` and ``write_behind`` configure the
+    out-of-core tier's disk schedule (see :func:`simulate_iteration`);
+    they are ignored by the non-paging systems.
+    """
     n_total = trace.total_gaussians
     if system in (
         "gsscale", "gsscale_no_deferred", "sharded", "outofcore",
@@ -527,7 +566,9 @@ def simulate_epoch(
     breakdown: dict[str, float] = {}
     for ratio in trace.active_ratios:
         it = simulate_iteration(
-            system, cost, n_total, float(ratio), num_pixels, mem_limit
+            system, cost, n_total, float(ratio), num_pixels, mem_limit,
+            page_compression_ratio=page_compression_ratio,
+            write_behind=write_behind,
         )
         total += it.time
         for k, v in it.breakdown.items():

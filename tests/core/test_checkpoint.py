@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import GSScaleConfig, create_system
-from repro.core.checkpoint import load_checkpoint, resume_model, save_checkpoint
+from repro.core.checkpoint import (
+    CheckpointReader,
+    load_checkpoint,
+    resume_model,
+    save_checkpoint,
+)
 from repro.datasets import SyntheticSceneConfig, build_scene
 
 
@@ -94,6 +99,25 @@ class TestMidRunEquivalence:
             ("baseline_offload", {}),
             ("sharded", {"num_shards": 3}),
             ("outofcore", {"num_shards": 3, "resident_shards": 1}),
+            # deep out-of-core tier: the lossless page codec, write-behind
+            # spilling, and the depth-2 staging queue are all pure placement
+            # — each must checkpoint/resume bit-exactly too
+            (
+                "outofcore",
+                {"num_shards": 3, "resident_shards": 1,
+                 "page_codec": "lossless"},
+            ),
+            (
+                "outofcore",
+                {"num_shards": 3, "resident_shards": 1,
+                 "write_behind": True},
+            ),
+            (
+                "outofcore",
+                {"num_shards": 3, "resident_shards": 1,
+                 "page_codec": "lossless", "write_behind": True,
+                 "async_prefetch": True, "prefetch_depth": 2},
+            ),
         ],
     )
     def test_resume_bit_identical(self, tmp_path, scene, system_name, extra):
@@ -126,6 +150,57 @@ class TestMidRunEquivalence:
         steps(resumed, scene, n, start=n)
         resumed.finalize()
 
+        np.testing.assert_array_equal(
+            resumed.materialized_model().params,
+            straight.materialized_model().params,
+        )
+
+    def test_checkpoint_written_mid_write_behind(self, tmp_path, scene):
+        """A checkpoint taken right after a step — with dirty page-outs
+        from that step still queued on the background writer — must equal
+        the synchronous-spill checkpoint array for array: ``save_checkpoint``
+        fences the writer before serializing. Resuming from it then
+        continues bit-identically."""
+
+        def build(write_behind):
+            config = cfg(scene, "outofcore")
+            config.num_shards = 3
+            config.resident_shards = 1
+            config.write_behind = write_behind
+            import dataclasses
+
+            return create_system(
+                scene.initial.copy(), dataclasses.replace(config)
+            )
+
+        paths = {}
+        for wb in (False, True):
+            s = build(wb)
+            steps(s, scene, self.N)
+            # deliberately no flush/finalize here: with write-behind on,
+            # the last step's page-outs are (or were) in flight
+            if wb:
+                assert s.write_behind_jobs > 0
+            path = str(tmp_path / f"wb_{wb}.npz")
+            save_checkpoint(path, s)
+            paths[wb] = path
+        with np.load(paths[False]) as sync, np.load(paths[True]) as behind:
+            assert set(sync.files) == set(behind.files)
+            for key in sync.files:
+                np.testing.assert_array_equal(
+                    sync[key], behind[key], err_msg=key
+                )
+
+        resumed = build(True)
+        load_checkpoint(paths[True], resumed)
+        steps(resumed, scene, self.N, start=self.N)
+        resumed.finalize()
+
+        straight = build(False)
+        steps(straight, scene, self.N)
+        straight.finalize()
+        steps(straight, scene, self.N, start=self.N)
+        straight.finalize()
         np.testing.assert_array_equal(
             resumed.materialized_model().params,
             straight.materialized_model().params,
@@ -180,3 +255,127 @@ class TestValidation:
             np.testing.assert_allclose(
                 model.params, s.materialized_model().params, rtol=1e-12
             )
+
+
+def _write_checkpoint(path, num_gaussians, blocks):
+    """Hand-craft a version-2 checkpoint from ``(prefix, start, stop,
+    rows, params)`` block tuples — the reader's format contract, without
+    going through a training system."""
+    arrays = {
+        "version": np.array(2),
+        "system": np.array("synthetic"),
+        "iteration": np.array(0),
+        "num_gaussians": np.array(num_gaussians),
+    }
+    for prefix, start, stop, rows, params in blocks:
+        p = f"{prefix}_" if prefix else ""
+        arrays[p + "params"] = params
+        arrays[p + "cols"] = np.array([start, stop])
+        if rows is not None:
+            arrays[p + "rows"] = np.asarray(rows)
+    np.savez_compressed(path, **arrays)
+    return str(path)
+
+
+class TestReaderEdgeCases:
+    """Lazy ``CheckpointReader`` against hand-crafted block layouts: the
+    shapes real spilled/sharded checkpoints can take (a spatial shard that
+    owns zero Gaussians, a block only partially overlapping the requested
+    columns, half-precision blocks next to float64 geometry) plus the
+    coverage failure the reader must refuse."""
+
+    def test_empty_shard_block(self, tmp_path):
+        """A spatial shard can own zero Gaussians (nothing landed in its
+        cell); its zero-row block must assemble cleanly and count nothing
+        toward coverage."""
+        n = 6
+        full = np.arange(n * 4, dtype=np.float64).reshape(n, 4)
+        path = _write_checkpoint(
+            tmp_path / "empty.npz", n,
+            [
+                ("geo", 0, 2, None, full[:, 0:2]),
+                ("shard0", 2, 4, np.arange(n), full[:, 2:4]),
+                ("shard1", 2, 4, np.empty(0, dtype=np.int64),
+                 np.empty((0, 2), dtype=np.float64)),
+            ],
+        )
+        with CheckpointReader(path) as reader:
+            assert len(reader.blocks()) == 3
+            np.testing.assert_array_equal(
+                reader.assemble_columns(slice(0, 4)), full
+            )
+
+    def test_partial_final_block(self, tmp_path):
+        """Requested columns that only clip the final block: the reader
+        slices the overlap instead of loading (or double-counting) the
+        whole block."""
+        n = 5
+        full = np.arange(n * 6, dtype=np.float64).reshape(n, 6)
+        path = _write_checkpoint(
+            tmp_path / "partial.npz", n,
+            [
+                ("a", 0, 3, None, full[:, 0:3]),
+                ("b", 3, 6, None, full[:, 3:6]),
+            ],
+        )
+        with CheckpointReader(path) as reader:
+            np.testing.assert_array_equal(
+                reader.assemble_columns(slice(2, 5)), full[:, 2:5]
+            )
+            # request entirely inside the final block
+            np.testing.assert_array_equal(
+                reader.assemble_columns(slice(4, 6)), full[:, 4:6]
+            )
+            # iteration yields only the overlapping slices
+            spans = [
+                (csl.start, csl.stop, values.shape)
+                for _, csl, values in reader.iter_column_blocks(slice(2, 5))
+            ]
+            assert spans == [(2, 3, (n, 1)), (3, 5, (n, 2))]
+
+    def test_uncovered_columns_raise(self, tmp_path):
+        n = 4
+        full = np.ones((n, 3))
+        path = _write_checkpoint(
+            tmp_path / "gap.npz", n, [("a", 0, 3, None, full)]
+        )
+        with CheckpointReader(path) as reader:
+            with pytest.raises(ValueError, match="does not cover"):
+                reader.assemble_columns(slice(0, 5))
+            with pytest.raises(ValueError, match="does not cover"):
+                reader.assemble_columns(slice(10, 12))
+
+    def test_missing_shard_rows_raise(self, tmp_path):
+        """Row coverage counts too: a sharded column range where one
+        shard's rows are absent is an incomplete checkpoint, not zeros."""
+        n = 6
+        rows = np.arange(3)  # shard covering half the rows only
+        path = _write_checkpoint(
+            tmp_path / "rows.npz", n,
+            [("shard0", 0, 2, rows, np.ones((3, 2)))],
+        )
+        with CheckpointReader(path) as reader:
+            with pytest.raises(ValueError, match="does not cover"):
+                reader.assemble_columns(slice(0, 2))
+
+    def test_mixed_dtype_blocks_promote(self, tmp_path):
+        """float16 blocks next to float64 blocks assemble at float64 —
+        whichever order the blocks arrive in, no block loses precision."""
+        n = 4
+        f64 = np.linspace(1.0, 2.0, n * 2).reshape(n, 2)
+        f16 = np.linspace(-1.0, 1.0, n * 2).reshape(n, 2).astype(np.float16)
+        for order_flip in (False, True):
+            blocks = [
+                ("lo", 0, 2, None, f16 if order_flip else f64),
+                ("hi", 2, 4, None, f64 if order_flip else f16),
+            ]
+            path = _write_checkpoint(
+                tmp_path / f"mixed{order_flip}.npz", n, blocks
+            )
+            with CheckpointReader(path) as reader:
+                out = reader.assemble_columns(slice(0, 4))
+                assert out.dtype == np.float64
+                lo, hi = (f16, f64) if order_flip else (f64, f16)
+                # f16 -> f64 upcast is exact: bit-compare both halves
+                np.testing.assert_array_equal(out[:, 0:2], lo.astype(np.float64))
+                np.testing.assert_array_equal(out[:, 2:4], hi.astype(np.float64))

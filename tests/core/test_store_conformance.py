@@ -30,6 +30,7 @@ from repro.core.stores import (
     HybridStore,
     ResidentSet,
     ShardedStore,
+    _WriteBehindWriter,
 )
 from repro.core.systems import TransferLedger
 from repro.gaussians import layout
@@ -150,6 +151,59 @@ def make_disk_spilling(tmp_path):
     )
 
 
+def make_disk_f16(tmp_path):
+    """DiskStore through the lossy float16 page codec: the conformance
+    contract (protocol, accounting, round-trips) must hold regardless of
+    what the codec does to spilled bytes. Quantized-trajectory tolerance
+    is pinned separately in the deep out-of-core suite."""
+    tracker, ledger = MemoryTracker(), TransferLedger()
+    host_tracker = MemoryTracker()
+    store = DiskStore(
+        _params(), layout.ALL_BLOCK, ADAM, tracker, ledger,
+        spill_path=str(tmp_path / "conformance_f16"),
+        host_memory=host_tracker, forwarding=True, deferred=True,
+        codec="float16",
+    )
+    return Harness(
+        store, tracker, ledger, exact=False, host_tracker=host_tracker
+    )
+
+
+def make_disk_lossless(tmp_path):
+    """DiskStore through the lossless (shuffle+zlib) codec under a
+    budget-1 resident set: compression must be pure placement — the
+    trajectory stays bit-exact against the dense oracle."""
+    tracker, ledger = MemoryTracker(), TransferLedger()
+    host_tracker = MemoryTracker()
+    rset = ResidentSet(budget=1)
+    store = DiskStore(
+        _params(), layout.ALL_BLOCK, ADAM, tracker, ledger,
+        spill_path=str(tmp_path / "conformance_lossless"),
+        host_memory=host_tracker, resident_set=rset,
+        forwarding=True, codec="lossless",
+    )
+    return Harness(
+        store, tracker, ledger, exact=True,
+        host_tracker=host_tracker, resident_set=rset,
+    )
+
+
+def make_disk_write_behind(tmp_path):
+    """DiskStore with a write-behind writer: queued page-outs (and the
+    re-adopt-on-page-in shortcut) must be invisible to the contract."""
+    tracker, ledger = MemoryTracker(), TransferLedger()
+    host_tracker = MemoryTracker()
+    store = DiskStore(
+        _params(), layout.ALL_BLOCK, ADAM, tracker, ledger,
+        spill_path=str(tmp_path / "conformance_wb"),
+        host_memory=host_tracker, forwarding=True,
+        writer=_WriteBehindWriter(),
+    )
+    return Harness(
+        store, tracker, ledger, exact=True, host_tracker=host_tracker
+    )
+
+
 FACTORIES = {
     "device": make_device,
     "host": make_host,
@@ -159,6 +213,9 @@ FACTORIES = {
     "sharded": make_sharded,
     "disk": make_disk,
     "disk_spilling": make_disk_spilling,
+    "disk_f16": make_disk_f16,
+    "disk_lossless": make_disk_lossless,
+    "disk_write_behind": make_disk_write_behind,
 }
 
 param_store = pytest.mark.parametrize("factory", FACTORIES, ids=FACTORIES)

@@ -146,6 +146,45 @@ class TestShardedFarm:
             farm.close()
         assert not farm.published
 
+    def test_worker_decode_parity_under_codecs(self, scene, paged):
+        """Workers decode compressed pages themselves (the page spec ships
+        a path + codec name, never decoded bytes): pooled rendering stays
+        bit-identical to inline for every codec, and the lossless store
+        renders bit-identically to the raw one."""
+        n = scene.oracle.num_gaussians
+        lod_set = LODSet.build(scene.oracle.params)
+        tasks = make_tasks(scene, lod_set)
+        baseline = None
+        for codec in ("lossless", "float16"):
+            store = PagedServingStore.from_model(
+                scene.oracle, budget(n), codec=codec
+            )
+            inline = RenderFarm(workers=0)
+            inline.publish_sharded(store, lod_set.drop_level)
+            pooled = RenderFarm(workers=2)
+            pooled.publish_sharded(store, lod_set.drop_level)
+            try:
+                names = {spec[2] for spec in pooled._page_specs}
+                assert names == {codec}
+                a = inline.render_batch(tasks)
+                b = pooled.render_batch(tasks)
+                for x, y in zip(a, b):
+                    assert np.array_equal(x, y)
+                if codec == "lossless":
+                    baseline = a
+            finally:
+                inline.close()
+                pooled.close()
+                store.close()
+        # lossless pages are pure placement: same pixels as the raw store
+        raw_farm = RenderFarm(workers=0)
+        raw_farm.publish_sharded(paged, lod_set.drop_level)
+        try:
+            for x, y in zip(baseline, raw_farm.render_batch(tasks)):
+                assert np.array_equal(x, y)
+        finally:
+            raw_farm.close()
+
     def test_republish_plain_after_sharded(self, scene, paged):
         """publish_sharded then publish must fully swap the dispatch."""
         from repro.serve import InMemoryServingStore

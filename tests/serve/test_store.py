@@ -139,6 +139,72 @@ class TestPagedStore:
         paged.close()
 
 
+class TestPagedStoreCodecs:
+    """Compressed serving pages: the codec changes bytes on disk, never
+    the served values (bit-exactly for lossless, within half-precision
+    tolerance for float16) — and the ledger's disk channel meters the
+    encoded size next to the fp32-equivalent accounting."""
+
+    def test_lossless_gather_bit_identical(self, scene):
+        model = scene.oracle
+        n = model.num_gaussians
+        paged = PagedServingStore.from_model(
+            model, tight_budget(n), codec="lossless"
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(4):
+            ids = np.sort(rng.choice(n, size=70, replace=False))
+            assert np.array_equal(paged.gather(ids), model.params[ids])
+        paged.close()
+
+    def test_float16_gather_tolerance_geometry_exact(self, scene):
+        model = scene.oracle
+        n = model.num_gaussians
+        paged = PagedServingStore.from_model(
+            model, tight_budget(n), codec="float16"
+        )
+        ids = np.arange(n)
+        got = paged.gather(ids)
+        # geometric columns never touch the codec: bit-exact
+        np.testing.assert_array_equal(
+            got[:, layout.GEOMETRIC_SLICE],
+            model.params[:, layout.GEOMETRIC_SLICE],
+        )
+        np.testing.assert_allclose(
+            got[:, layout.NON_GEOMETRIC_SLICE],
+            model.params[:, layout.NON_GEOMETRIC_SLICE],
+            rtol=2e-3, atol=1e-6,
+        )
+        paged.close()
+
+    def test_disk_channel_meters_encoded_bytes(self, scene):
+        model = scene.oracle
+        n = model.num_gaussians
+        stores = {
+            name: PagedServingStore.from_model(
+                model, tight_budget(n), codec=name
+            )
+            for name in ("raw", "float16", "lossless")
+        }
+        try:
+            for s in stores.values():
+                s.gather(np.arange(n))  # page every shard in once
+            raw, f16, loz = (
+                stores[k].ledger for k in ("raw", "float16", "lossless")
+            )
+            # accounting side is placement-independent
+            assert f16.page_in_bytes == raw.page_in_bytes
+            assert loz.page_in_bytes == raw.page_in_bytes
+            # raw: both sides agree; f16: ~2x (2 bytes/value + a 2-byte
+            # per-column scale header); lossless: encoded, just different
+            assert raw.page_in_disk_bytes == raw.page_in_bytes
+            assert 1.5 < f16.page_in_bytes / f16.page_in_disk_bytes <= 2.0
+            assert 0 < loz.page_in_disk_bytes != loz.page_in_bytes
+        finally:
+            for s in stores.values():
+                s.close()
+
+
 class TestCheckpointOpen:
     @pytest.fixture(scope="class")
     def checkpoint(self, scene, tmp_path_factory):
@@ -188,6 +254,37 @@ class TestCheckpointOpen:
         assert np.array_equal(paged.gather(ids), ref.params[ids])
         assert paged.host_memory.peak_bytes <= paged.host_memory.capacity_bytes
         paged.close()
+
+    def test_paged_from_checkpoint_with_lossless_codec(self, checkpoint):
+        """Opening a trained checkpoint straight into compressed serving
+        pages loses nothing: gathers still match ``resume_model``."""
+        ref = resume_model(checkpoint)
+        n = ref.num_gaussians
+        paged = PagedServingStore.from_checkpoint(
+            checkpoint, tight_budget(n), num_shards=4, codec="lossless"
+        )
+        assert np.array_equal(paged.gather(np.arange(n)), ref.params)
+        assert paged.ledger.page_in_disk_bytes != paged.ledger.page_in_bytes
+        paged.close()
+
+    def test_render_service_forwards_codec(self, checkpoint):
+        """``RenderService.from_checkpoint(codec=...)`` reaches the paged
+        store — the serving entry point can select compressed pages."""
+        from repro.serve import RenderService
+
+        ref = resume_model(checkpoint)
+        service = RenderService.from_checkpoint(
+            checkpoint, host_budget_bytes=tight_budget(ref.num_gaussians),
+            num_shards=4, codec="float16",
+        )
+        try:
+            assert service.store.codec.name == "float16"
+            n = ref.num_gaussians
+            gathered = service.store.gather(np.arange(n))
+            geo = layout.GEOMETRIC_SLICE
+            assert np.array_equal(gathered[:, geo], ref.params[:, geo])
+        finally:
+            service.store.close()
 
     def test_from_checkpoint_respects_shard_count(self, checkpoint):
         ref = resume_model(checkpoint)

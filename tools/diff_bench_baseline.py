@@ -5,10 +5,12 @@ Usage::
     python tools/diff_bench_baseline.py BASELINE NEW [BASELINE NEW ...]
 
 Each argument pair is a (committed baseline, fresh run) of the
-``BENCH_*.json`` payloads the micro-kernel and serve-throughput matrices
-write. Entries are matched on every non-timing field (engine, workers,
-dtype, splat count, shard count, ...); a timing regression past
-``THRESHOLD`` prints a GitHub Actions ``::warning::`` annotation.
+``BENCH_*.json`` payloads the micro-kernel, serve-throughput, and
+disk-paging matrices write. Entries are matched on every non-timing
+field (engine, workers, dtype, splat count, shard count, codec, ...); a
+timing regression past ``THRESHOLD`` prints a GitHub Actions
+``::warning::`` annotation. Throughput-style keys (requests/sec) count
+as regressions when they *drop*; wall-clock keys when they *grow*.
 
 The exit code is always 0 — shared CI runners are far too noisy for a
 hard gate, so the diff only annotates the run for reviewers. Entries
@@ -23,7 +25,15 @@ import sys
 #: runners routinely wobble 2x; only flag what a reviewer should see.
 THRESHOLD = 2.5
 
-TIMING_KEYS = ("forward_s", "backward_s")
+#: Lower-is-better measurements (wall clock, stall fractions).
+COST_KEYS = (
+    "forward_s", "backward_s", "step_s", "roundtrip_s",
+    "page_in_s", "page_out_s", "sync_spill_s", "page_stall_fraction",
+)
+#: Higher-is-better measurements (throughput): the regression ratio
+#: inverts for these.
+RATE_KEYS = ("requests_per_s",)
+TIMING_KEYS = COST_KEYS + RATE_KEYS
 
 
 def entry_key(entry):
@@ -55,12 +65,14 @@ def diff(baseline_path, new_path):
             old, cur = base.get(tk), fresh.get(tk)
             if not old or not cur:
                 continue
-            ratio = cur / old
+            # regression ratio > 1 means "worse", whichever way the
+            # measurement points
+            ratio = old / cur if tk in RATE_KEYS else cur / old
             if ratio > THRESHOLD:
                 warnings += 1
                 print(
                     f"::warning::{new_path}: [{label}] {tk} "
-                    f"{ratio:.2f}x baseline ({old:.4f}s -> {cur:.4f}s)"
+                    f"{ratio:.2f}x baseline ({old:.4f} -> {cur:.4f})"
                 )
     for key in base_entries.keys() - new_entries.keys():
         label = ", ".join(f"{k}={v}" for k, v in key)
