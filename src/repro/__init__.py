@@ -7,7 +7,7 @@ and the performance simulator used to regenerate the paper's figures.
 """
 
 from . import bench, cameras, core, datasets, densify, gaussians, io, metrics
-from . import optim, render, serve, sim, train
+from . import optim, recon, render, serve, sim, train
 from .cameras import Camera
 from .core import (
     GSScaleConfig,
@@ -65,6 +65,7 @@ __all__ = [
     "optim",
     "perceptual_distance",
     "psnr",
+    "recon",
     "render",
     "render_backward",
     "serve",

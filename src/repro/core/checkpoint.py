@@ -95,6 +95,54 @@ def load_checkpoint(path: str, system: TrainingSystem) -> None:
             store.load_state_dict(state)
 
 
+def write_model_checkpoint(
+    path: str,
+    blocks: list[tuple[str, np.ndarray | None, np.ndarray]],
+    *,
+    system: str = "merged",
+    iteration: int = 0,
+    num_gaussians: int,
+) -> None:
+    """Write a params-only checkpoint from packed full-width row blocks.
+
+    The inference-side counterpart of :func:`save_checkpoint`: no
+    optimizer state, just committed ``(n_i, 59)`` parameter blocks, each
+    given as ``(prefix, rows, params)`` — ``rows`` are the block's global
+    row ids (``None`` means all ``num_gaussians`` rows in order). The
+    result is a regular format-v2 checkpoint, so :func:`resume_model`,
+    :class:`CheckpointReader`, and the serving stores load it like any
+    trained one. The patch pipeline writes its merged model this way, one
+    per-patch block at a time, so the fused scene never materializes as a
+    single array during the merge.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array(_FORMAT_VERSION),
+        "system": np.array(system),
+        "iteration": np.array(iteration),
+        "num_gaussians": np.array(num_gaussians),
+    }
+    covered = 0
+    for prefix, rows, params in blocks:
+        if params.ndim != 2 or params.shape[1] != layout.PARAM_DIM:
+            raise ValueError(
+                f"block {prefix!r} must be (n, {layout.PARAM_DIM}), "
+                f"got {params.shape}"
+            )
+        if rows is not None and rows.size != params.shape[0]:
+            raise ValueError(f"block {prefix!r}: rows do not match params")
+        p = _prefix(prefix)
+        arrays[p + "params"] = params
+        arrays[p + "cols"] = np.array([0, layout.PARAM_DIM])
+        if rows is not None:
+            arrays[p + "rows"] = np.asarray(rows, dtype=np.int64)
+        covered += params.shape[0] if rows is None else rows.size
+    if covered != num_gaussians:
+        raise ValueError(
+            f"blocks cover {covered} rows, expected {num_gaussians}"
+        )
+    np.savez_compressed(path, **arrays)
+
+
 def resume_model(path: str) -> GaussianModel:
     """Extract just the (committed) Gaussian model from a checkpoint.
 

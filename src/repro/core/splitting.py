@@ -16,6 +16,11 @@ Two partitioning problems share the same balance philosophy:
   itself into K spatially coherent, population-balanced shards (recursive
   median cuts along the widest axis, the Grendel/TideGS recipe), which the
   sharded multi-device system assigns one store each.
+  :func:`buffered_spatial_partition` is the reconstruction-farm variant:
+  the same cuts, but each shard additionally reports its half-open cell
+  box and an overlap-buffered member set, so independently trained
+  patches share boundary context and can be fused with exact dedup
+  afterwards (:mod:`repro.recon`).
 """
 
 from __future__ import annotations
@@ -127,22 +132,116 @@ def spatial_partition(means: np.ndarray, num_shards: int) -> list[np.ndarray]:
     blocks). Returns sorted, disjoint global index arrays covering every
     Gaussian; deterministic for a given input.
     """
+    return [ids for ids, _, _ in spatial_partition_bounds(means, num_shards)]
+
+
+def spatial_partition_bounds(
+    means: np.ndarray, num_shards: int
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """:func:`spatial_partition` plus each shard's half-open cell box.
+
+    Runs the same recursive median cuts but also tracks the box each cut
+    carves out of world space: every shard is returned as
+    ``(ids, lo, hi)`` where ``ids`` are its sorted global indices and
+    ``[lo, hi)`` its axis-aligned cell (``±inf`` on axes no cut touched).
+    The boxes of one partition tile space exactly — each world point lies
+    in exactly one cell — which is what lets the patch pipeline's merge
+    step assign ownership of a splat by position alone. A point exactly
+    on a cut plane lands in the right-hand cell's box; a member whose
+    coordinate ties the cut may therefore sit in its neighbor's box, so
+    ownership by ``ids`` and ownership by box agree everywhere except on
+    those measure-zero ties.
+    """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
     n = means.shape[0]
-    parts: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    inf = np.full(means.shape[1], np.inf)
+    parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+        (np.arange(n, dtype=np.int64), -inf, inf)
+    ]
     while len(parts) < num_shards:
-        widest = int(np.argmax([p.size for p in parts]))
-        ids = parts[widest]
+        widest = int(np.argmax([p[0].size for p in parts]))
+        ids, lo, hi = parts[widest]
         if ids.size < 2:
             break  # more shards than Gaussians: leave the rest empty
         pts = means[ids]
         axis = int(np.argmax(np.ptp(pts, axis=0)))
         order = np.argsort(pts[:, axis], kind="stable")
         half = ids.size // 2
-        left = np.sort(ids[order[:half]])
-        right = np.sort(ids[order[half:]])
-        parts[widest : widest + 1] = [left, right]
+        cut = 0.5 * float(pts[order[half - 1], axis] + pts[order[half], axis])
+        left_hi, right_lo = hi.copy(), lo.copy()
+        left_hi[axis] = cut
+        right_lo[axis] = cut
+        parts[widest : widest + 1] = [
+            (np.sort(ids[order[:half]]), lo, left_hi),
+            (np.sort(ids[order[half:]]), right_lo, hi),
+        ]
     while len(parts) < num_shards:
-        parts.append(np.empty(0, dtype=np.int64))
+        # padded empty shards get an empty box (lo > hi everywhere) so a
+        # containment test never claims a point for them
+        parts.append((np.empty(0, dtype=np.int64), inf.copy(), -inf))
     return parts
+
+
+@dataclass(frozen=True)
+class SpatialPatch:
+    """One cell of an overlap-buffered spatial partition.
+
+    Attributes:
+        core_ids: sorted global ids this patch *owns*; cores are disjoint
+            across patches and cover every Gaussian.
+        buffered_ids: sorted global ids the patch trains on — the core
+            plus every Gaussian within ``buffer`` of the cell box, so the
+            patch sees the boundary context its splats blend against.
+        lo, hi: the half-open core cell ``[lo, hi)`` per axis (``±inf``
+            on uncut axes; empty patches carry an empty box).
+    """
+
+    core_ids: np.ndarray
+    buffered_ids: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+
+    @property
+    def num_core(self) -> int:
+        """Gaussians owned by this patch."""
+        return int(self.core_ids.size)
+
+    @property
+    def num_buffered(self) -> int:
+        """Gaussians the patch trains on (core + buffer)."""
+        return int(self.buffered_ids.size)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of ``points`` inside the half-open core box."""
+        return np.all((points >= self.lo) & (points < self.hi), axis=1)
+
+
+def buffered_spatial_partition(
+    means: np.ndarray, num_patches: int, buffer: float
+) -> list[SpatialPatch]:
+    """Spatially partition with an overlap buffer around every cell.
+
+    Each patch owns its :func:`spatial_partition` core and additionally
+    trains the Gaussians within ``buffer`` world units of its cell box
+    (the 3D-Reefs-style overlap that keeps boundary splats supervised
+    from both sides). Buffered sets overlap; cores stay disjoint and
+    exhaustive, so a later merge that keeps only core members emits each
+    Gaussian exactly once. Empty patches (``num_patches > n``) carry
+    empty core and buffered sets and are tolerated downstream.
+    """
+    if buffer < 0:
+        raise ValueError("buffer must be >= 0")
+    patches = []
+    for ids, lo, hi in spatial_partition_bounds(means, num_patches):
+        if ids.size == 0:
+            buffered = ids
+        else:
+            inside = np.all(
+                (means >= lo - buffer) & (means < hi + buffer), axis=1
+            )
+            # union with the core: a member whose coordinate ties a cut
+            # plane can sit just outside its own box
+            buffered = np.union1d(ids, np.flatnonzero(inside).astype(np.int64))
+        patches.append(SpatialPatch(ids, buffered, lo, hi))
+    return patches

@@ -130,13 +130,14 @@ class Trainer:
         iterations: int,
         shuffle: bool = False,
         view_order: str = "sequential",
+        start_iteration: int = 0,
     ) -> TrainingHistory:
         """Run ``iterations`` training steps cycling through the views.
 
         Args:
             cameras: training cameras.
             images: matching ground-truth images.
-            iterations: total optimizer steps.
+            iterations: optimizer steps to run in this call.
             shuffle: randomize view order each epoch (seeded).
             view_order: ``"sequential"`` cycles views as given;
                 ``"locality"`` reorders each epoch with
@@ -145,11 +146,19 @@ class Trainer:
                 schedule that amortizes the out-of-core system's page-ins
                 (and that the sim's ``OUTOFCORE_VIEW_LOCALITY`` models).
                 Mutually exclusive with ``shuffle``.
+            start_iteration: global iteration the run resumes at. Offsets
+                the view cursor and the densification clock, so a
+                checkpointed run that restarts with
+                ``start_iteration=k`` walks the same deterministic
+                schedule as an uninterrupted one (the patch-pipeline
+                resume path relies on this).
         """
         if len(cameras) != len(images):
             raise ValueError("cameras and images must align")
         if not cameras:
             raise ValueError("need at least one training view")
+        if start_iteration < 0:
+            raise ValueError("start_iteration must be >= 0")
         if view_order not in ("sequential", "locality"):
             raise ValueError(
                 f"unknown view_order {view_order!r}; choose "
@@ -167,22 +176,23 @@ class Trainer:
         depth = getattr(self.system, "prefetch_depth", 1)
         deep_hints = depth > 1 and hasattr(self.system, "hint_upcoming_views")
 
-        for it in range(iterations):
+        stop = start_iteration + iterations
+        for it in range(start_iteration, stop):
             pos = it % len(cameras)
             if pos == 0 and shuffle:
                 rng.shuffle(order)
             view = order[pos]
-            if deep_hints and it + 1 < iterations:
+            if deep_hints and it + 1 < stop:
                 # depth-D overlap: hand the system the next D views of
                 # the schedule (locality order makes the deeper entries
                 # worth staging), nearest first
                 self.system.hint_upcoming_views(
                     [
                         cameras[order[(it + 1 + j) % len(cameras)]]
-                        for j in range(min(depth, iterations - it - 1))
+                        for j in range(min(depth, stop - it - 1))
                     ]
                 )
-            elif hints and it + 1 < iterations:
+            elif hints and it + 1 < stop:
                 # overlap leg: let the system stage the next view's
                 # shards while this view renders (exact for the steady
                 # in-epoch case; a wrong guess is only a cache miss)

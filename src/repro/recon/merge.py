@@ -1,0 +1,149 @@
+"""Patch fusion: merge overlapping patch models with boundary dedup.
+
+Every patch trained on its core *plus* an overlap buffer, so neighboring
+patch models both hold copies of the boundary splats. The merge keeps
+each Gaussian exactly once by ownership:
+
+* ``identity`` — a patch keeps the rows whose *original* global id lies
+  in its core. Cores partition the id space, so exactly-once holds by
+  construction, independent of where training moved the splats. Requires
+  the patch model to still be row-aligned with its buffered input (the
+  default: patch jobs train without densification).
+* ``spatial`` — a patch keeps the rows whose trained mean lies inside
+  its half-open core cell box. Cell boxes tile space, so a splat is kept
+  by at most one patch; this is the fallback when densification changed
+  the row count and id-level ownership no longer exists.
+* ``auto`` — ``identity`` when every patch is row-aligned, else
+  ``spatial``.
+
+The merge streams: each patch checkpoint is opened through the lazy
+:class:`~repro.core.checkpoint.CheckpointReader`, its kept rows become
+one block of the merged checkpoint
+(:func:`~repro.core.checkpoint.write_model_checkpoint`), and the reader
+is closed before the next patch loads. The fused model never
+materializes as a single packed array here — it is held once, as the
+list of kept per-patch blocks, plus at most one patch's transient
+(buffer-inflated) block, and the downstream consumers
+(``resume_model``, the paged serving store, the clean pass) read it back
+block-at-a-time the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.checkpoint import CheckpointReader, write_model_checkpoint
+from ..gaussians import layout
+from .partition import ScenePatch
+
+__all__ = ["MergeReport", "merge_patch_checkpoints"]
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What the merge kept and dropped, per patch.
+
+    Attributes:
+        policy: dedup policy actually applied.
+        num_gaussians: rows in the merged model.
+        kept: per-patch kept-row counts (patch order, empties included).
+        dropped: per-patch buffer rows dropped as duplicates.
+        iteration: max training iteration across the fused patches.
+        path: the merged checkpoint.
+    """
+
+    policy: str
+    num_gaussians: int
+    kept: tuple[int, ...]
+    dropped: tuple[int, ...]
+    iteration: int
+    path: str
+
+
+def _keep_mask(
+    patch: ScenePatch, reader: CheckpointReader, policy: str
+) -> np.ndarray:
+    if policy == "identity":
+        if reader.num_gaussians != patch.num_buffered:
+            raise ValueError(
+                f"patch {patch.index}: checkpoint holds "
+                f"{reader.num_gaussians} rows but the buffered input had "
+                f"{patch.num_buffered} — use the 'spatial' policy for "
+                "densified patch models"
+            )
+        return np.isin(patch.buffered_ids, patch.core_ids, assume_unique=True)
+    means = reader.assemble_columns(layout.MEAN_SLICE)
+    return patch.patch.contains(means)
+
+
+def merge_patch_checkpoints(
+    patches: list[ScenePatch],
+    checkpoint_paths: dict[int, str],
+    out_path: str,
+    policy: str = "auto",
+) -> MergeReport:
+    """Fuse trained patch checkpoints into one merged model checkpoint.
+
+    Args:
+        patches: the partition the patches were trained from (dedup needs
+            the core ids/boxes). Empty patches need no checkpoint.
+        checkpoint_paths: patch index -> trained checkpoint path.
+        out_path: merged checkpoint destination (format v2, params only,
+            one block per patch; loadable by ``resume_model`` and the
+            serving stores).
+        policy: ``"identity"``, ``"spatial"``, or ``"auto"``.
+
+    Returns:
+        A :class:`MergeReport`; ``report.path`` is the merged checkpoint.
+    """
+    if policy not in ("auto", "identity", "spatial"):
+        raise ValueError(f"unknown merge policy {policy!r}")
+    live = [p for p in patches if p.num_buffered > 0]
+    for patch in live:
+        if patch.index not in checkpoint_paths:
+            raise ValueError(f"patch {patch.index} has no checkpoint")
+
+    if policy == "auto":
+        policy = "identity"
+        for patch in live:
+            with CheckpointReader(checkpoint_paths[patch.index]) as reader:
+                if reader.num_gaussians != patch.num_buffered:
+                    policy = "spatial"
+                    break
+
+    slots = {id(p): slot for slot, p in enumerate(patches)}
+    blocks = []
+    kept = [0] * len(patches)
+    dropped = [0] * len(patches)
+    offset = 0
+    iteration = 0
+    for patch in live:
+        with CheckpointReader(checkpoint_paths[patch.index]) as reader:
+            mask = _keep_mask(patch, reader, policy)
+            n_keep = int(np.count_nonzero(mask))
+            kept[slots[id(patch)]] = n_keep
+            dropped[slots[id(patch)]] = int(mask.size - n_keep)
+            iteration = max(iteration, reader.iteration)
+            if n_keep == 0:
+                continue
+            params = reader.assemble_columns(slice(0, layout.PARAM_DIM))
+            rows = np.arange(offset, offset + n_keep, dtype=np.int64)
+            blocks.append((f"patch{patch.index}", rows, params[mask]))
+            offset += n_keep
+    write_model_checkpoint(
+        out_path,
+        blocks,
+        system="merged",
+        iteration=iteration,
+        num_gaussians=offset,
+    )
+    return MergeReport(
+        policy=policy,
+        num_gaussians=offset,
+        kept=tuple(kept),
+        dropped=tuple(dropped),
+        iteration=iteration,
+        path=out_path,
+    )

@@ -11,8 +11,11 @@ The model version in the key is what makes hot-swapping safe: swapping
 the served model bumps the service's version, so every pre-swap key
 misses by construction, *and* the service flushes the cache eagerly so
 the stale frames' bytes are reclaimed immediately rather than aging out.
-A cached frame is marked read-only before it is stored — a client
-mutating a response cannot poison later hits.
+A cached frame is marked read-only before it is stored — and a frame
+that arrives as a view of a larger buffer is snapshotted first, since
+read-only views do not protect their base — so neither a client mutating
+a response nor a renderer reusing its pixel buffer can poison later
+hits.
 """
 
 from __future__ import annotations
@@ -29,19 +32,34 @@ __all__ = ["FrameCache", "frame_key"]
 def frame_key(camera: Camera, lod: int, model_version: int) -> bytes:
     """Exact-match cache key for one (pose, size, LOD, model) frame.
 
-    Byte-hashes the raw float fields — no rounding: two cameras produce
-    one key iff they render identical frames from an identical model.
+    Byte-hashes the float fields — no rounding: two cameras produce one
+    key iff they render identical frames from an identical model. The
+    one normalization is ``-0.0`` -> ``+0.0`` (adding ``0.0`` flips only
+    the sign of negative zeros in IEEE 754): the two zeros are
+    bit-different but render identically, and axis-aligned ``look_at``
+    poses routinely emit ``-0.0`` rotation entries, so without it equal
+    poses would miss each other's cache lines.
     """
     parts = [
         np.asarray(
             [camera.width, camera.height, lod, model_version], dtype=np.int64
         ).tobytes(),
-        np.asarray(
-            [camera.fx, camera.fy, camera.cx, camera.cy, camera.near, camera.far],
-            dtype=np.float64,
+        (
+            np.asarray(
+                [
+                    camera.fx,
+                    camera.fy,
+                    camera.cx,
+                    camera.cy,
+                    camera.near,
+                    camera.far,
+                ],
+                dtype=np.float64,
+            )
+            + 0.0
         ).tobytes(),
-        camera.world_to_cam_rot.tobytes(),
-        camera.world_to_cam_trans.tobytes(),
+        (camera.world_to_cam_rot + 0.0).tobytes(),
+        (camera.world_to_cam_trans + 0.0).tobytes(),
     ]
     import hashlib
 
@@ -86,14 +104,20 @@ class FrameCache:
         self.hits += 1
         return image
 
-    def put(self, key: bytes, image: np.ndarray) -> None:
+    def put(self, key: bytes, image: np.ndarray) -> np.ndarray:
         """Insert a frame, evicting LRU entries past the byte budget.
 
-        Marks ``image`` read-only in place (every alias the caller hands
-        out shares the cached buffer).
+        Returns the array actually stored — callers must hand *that* to
+        clients so responses alias the frozen cached buffer. When
+        ``image`` owns its buffer it is frozen in place; a *view* is
+        snapshotted first, because freezing a view leaves its base
+        writable, so a caller holding the base — e.g. the renderer's
+        flat pixel buffer that the ``(H, W, 3)`` result reshapes —
+        could still rewrite cached bytes and poison later hits.
+        Oversized frames are returned unstored (and unfrozen).
         """
         if image.nbytes > self.capacity_bytes:
-            return
+            return image
         old = self._entries.pop(key, None)
         if old is not None:
             self.live_bytes -= old.nbytes
@@ -101,11 +125,12 @@ class FrameCache:
             _, evicted = self._entries.popitem(last=False)
             self.live_bytes -= evicted.nbytes
             self.evictions += 1
-        # freeze the array itself, not a view: the miss response aliases
-        # this buffer, so a mutable alias would poison later hits
+        if image.base is not None or not image.flags.owndata:
+            image = image.copy()
         image.flags.writeable = False
         self._entries[key] = image
         self.live_bytes += image.nbytes
+        return image
 
     def invalidate(self) -> int:
         """Drop every cached frame (model swap); returns frames dropped."""

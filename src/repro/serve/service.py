@@ -321,10 +321,12 @@ class RenderService:
             images = [render_frame(self.store, drop, t) for _, t in tasks]
         rendered = dict(zip((k for k, _ in tasks), images))
 
-        # 5: fill the cache, answer in submission order
+        # 5: fill the cache, answer in submission order. Responses must
+        # alias the *stored* array: put() freezes it (snapshotting
+        # renderer-buffer views), so clients cannot poison later hits.
         for key, image in rendered.items():
             if self.cache is not None:
-                self.cache.put(key, image)
+                rendered[key] = self.cache.put(key, image)
         elapsed = time.perf_counter() - t0
         self.stats.busy_s += elapsed
         self.stats.frames_rendered += len(rendered)

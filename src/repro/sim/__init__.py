@@ -18,6 +18,7 @@ from .memory import (
     outofcore_host_state_bytes,
     sharded_breakdown,
 )
+from .recon import PatchFarmResult, simulate_patch_farm
 from .serve import (
     ServeResult,
     ServeScenario,
@@ -46,6 +47,7 @@ __all__ = [
     "MemoryBreakdown",
     "MemoryTracker",
     "PLATFORMS",
+    "PatchFarmResult",
     "Platform",
     "SYSTEMS",
     "Segment",
@@ -70,6 +72,7 @@ __all__ = [
     "sharded_breakdown",
     "simulate_epoch",
     "simulate_iteration",
+    "simulate_patch_farm",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

@@ -1,0 +1,125 @@
+"""Modeled patch-farm schedule: P patches over J jobs vs one big run.
+
+The performance-model counterpart of :mod:`repro.recon`: given the
+partition's patch sizes, estimate the wall clock of training every patch
+on ``num_jobs`` concurrent workers (longest-processing-time-first
+greedy assignment — the classic makespan heuristic) against the
+monolithic single-run alternative, on any :class:`~repro.sim.devices.
+Platform`. Per-patch iteration times come from the same calibrated
+:func:`~repro.sim.timeline.simulate_iteration` the paper figures use,
+so the comparison inherits the cost model's anchors rather than
+inventing new constants.
+
+Host memory uses the fp32-equivalent convention of
+:mod:`repro.gaussians.layout`: the farm holds ``num_jobs`` concurrent
+patch training states, the monolithic run holds the whole scene's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gaussians import layout
+from .costs import CostModel
+from .devices import Platform
+from .timeline import simulate_iteration
+
+__all__ = ["PatchFarmResult", "simulate_patch_farm"]
+
+
+@dataclass(frozen=True)
+class PatchFarmResult:
+    """Modeled farm schedule vs the monolithic run.
+
+    Attributes:
+        patch_seconds: per-patch training time (patch order, empties 0).
+        assignments: job index each patch was scheduled on (-1: empty).
+        makespan_seconds: farm wall clock (slowest job's total).
+        monolithic_seconds: the single whole-scene run.
+        speedup: monolithic over farm wall clock.
+        peak_host_bytes: widest concurrent farm training state.
+        monolithic_peak_host_bytes: whole-scene training state.
+    """
+
+    patch_seconds: tuple[float, ...]
+    assignments: tuple[int, ...]
+    makespan_seconds: float
+    monolithic_seconds: float
+    speedup: float
+    peak_host_bytes: int
+    monolithic_peak_host_bytes: int
+
+
+def simulate_patch_farm(
+    platform: Platform,
+    patch_sizes: list[int],
+    num_jobs: int,
+    iterations: int,
+    num_pixels: int,
+    system: str = "gsscale",
+    active_ratio: float = 0.3,
+    mem_limit: float = 0.3,
+) -> PatchFarmResult:
+    """Model P patch trainings packed onto J jobs vs one monolithic run.
+
+    Args:
+        platform: hardware model (``get_platform``).
+        patch_sizes: buffered Gaussian count per patch (zeros allowed —
+            padded empty patches cost nothing).
+        num_jobs: concurrent training jobs.
+        iterations: optimizer steps per patch and for the monolith.
+        num_pixels: rendered pixels per view.
+        system: training system each job (and the monolith) runs.
+        active_ratio: visible fraction per view of whatever model the
+            run holds — a patch job renders its patch's visible subset,
+            the monolith renders the whole scene's. This is the regime
+            the real benchmark measures (wide views covering the site),
+            and it is exactly why the farm wins wall clock: per-step
+            render work shrinks with the patch.
+        mem_limit: staging budget fraction (image splitting knob).
+    """
+    if num_jobs < 1:
+        raise ValueError("num_jobs must be >= 1")
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    cost = CostModel(platform)
+    n_total = int(sum(patch_sizes))
+
+    def epoch_seconds(n: int, ratio: float) -> float:
+        if n == 0:
+            return 0.0
+        it = simulate_iteration(
+            system, cost, n, ratio, num_pixels, mem_limit
+        )
+        return it.time * iterations
+
+    patch_seconds = [epoch_seconds(int(n), active_ratio) for n in patch_sizes]
+
+    # LPT greedy: largest patch first onto the least-loaded job
+    loads = [0.0] * num_jobs
+    assignments = [-1] * len(patch_sizes)
+    order = sorted(
+        range(len(patch_sizes)), key=lambda i: -patch_seconds[i]
+    )
+    for i in order:
+        if patch_sizes[i] == 0:
+            continue
+        job = min(range(num_jobs), key=lambda j: loads[j])
+        loads[job] += patch_seconds[i]
+        assignments[i] = job
+    makespan = max(loads) if loads else 0.0
+    monolithic = epoch_seconds(n_total, active_ratio)
+
+    concurrent = sorted((int(n) for n in patch_sizes), reverse=True)[
+        :num_jobs
+    ]
+    peak_host = sum(layout.train_state_bytes(n) for n in concurrent)
+    return PatchFarmResult(
+        patch_seconds=tuple(patch_seconds),
+        assignments=tuple(assignments),
+        makespan_seconds=makespan,
+        monolithic_seconds=monolithic,
+        speedup=monolithic / makespan if makespan > 0 else float("inf"),
+        peak_host_bytes=peak_host,
+        monolithic_peak_host_bytes=layout.train_state_bytes(n_total),
+    )

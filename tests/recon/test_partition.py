@@ -1,0 +1,147 @@
+"""Buffered spatial partitioning + camera assignment tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.splitting import (
+    buffered_spatial_partition,
+    spatial_partition,
+    spatial_partition_bounds,
+)
+from repro.datasets import SyntheticSceneConfig, build_scene
+from repro.recon import default_buffer, partition_scene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene(
+        SyntheticSceneConfig(
+            num_points=180,
+            width=32,
+            height=24,
+            num_train_cameras=8,
+            num_test_cameras=2,
+            seed=7,
+        )
+    )
+
+
+def cloud(n=200, seed=11):
+    return np.random.default_rng(seed).normal(size=(n, 3)) * 5.0
+
+
+class TestPartitionBounds:
+    def test_ids_match_spatial_partition(self):
+        means = cloud()
+        for k in (1, 3, 4, 7):
+            plain = spatial_partition(means, k)
+            with_bounds = spatial_partition_bounds(means, k)
+            assert len(plain) == len(with_bounds) == k
+            for ids, (bids, _, _) in zip(plain, with_bounds):
+                np.testing.assert_array_equal(ids, bids)
+
+    def test_boxes_tile_space(self):
+        """Every point — member or not — lies in exactly one cell box."""
+        means = cloud()
+        cells = spatial_partition_bounds(means, 6)
+        probes = np.random.default_rng(3).normal(size=(500, 3)) * 6.0
+        owners = np.zeros(len(probes), dtype=int)
+        for ids, lo, hi in cells:
+            owners += np.all((probes >= lo) & (probes < hi), axis=1)
+        assert np.all(owners == 1)
+
+    def test_members_in_own_box(self):
+        """Continuous data (no cut-plane ties): ids agree with boxes."""
+        means = cloud()
+        for ids, lo, hi in spatial_partition_bounds(means, 5):
+            inside = np.all((means[ids] >= lo) & (means[ids] < hi), axis=1)
+            assert np.all(inside)
+
+    def test_empty_padding_has_empty_boxes(self):
+        means = cloud(3)
+        cells = spatial_partition_bounds(means, 8)
+        assert len(cells) == 8
+        for ids, lo, hi in cells[3:]:
+            assert ids.size == 0
+            assert np.all(lo > hi)  # claims no point
+
+
+class TestBufferedPartition:
+    def test_cores_disjoint_and_exhaustive(self):
+        means = cloud()
+        patches = buffered_spatial_partition(means, 4, buffer=1.0)
+        cores = np.concatenate([p.core_ids for p in patches])
+        np.testing.assert_array_equal(np.sort(cores), np.arange(len(means)))
+        assert len(np.unique(cores)) == len(means)
+
+    def test_buffered_superset_of_core(self):
+        means = cloud()
+        for p in buffered_spatial_partition(means, 4, buffer=1.0):
+            assert np.all(np.isin(p.core_ids, p.buffered_ids))
+
+    def test_zero_buffer_is_core_only(self):
+        means = cloud()
+        for p in buffered_spatial_partition(means, 4, buffer=0.0):
+            np.testing.assert_array_equal(p.core_ids, p.buffered_ids)
+
+    def test_buffer_captures_near_boundary_points(self):
+        """A point within `buffer` of a neighbor cell's box joins its
+        buffered set."""
+        means = cloud()
+        buffer = 1.5
+        for p in buffered_spatial_partition(means, 4, buffer=buffer):
+            if p.num_core == 0:
+                continue
+            lo, hi = p.lo - buffer, p.hi + buffer
+            inside = np.all((means >= lo) & (means < hi), axis=1)
+            expect = np.union1d(p.core_ids, np.flatnonzero(inside))
+            np.testing.assert_array_equal(p.buffered_ids, expect)
+            # and strictly more than the core when outsiders sit nearby
+            outsiders = np.setdiff1d(np.flatnonzero(inside), p.core_ids)
+            assert p.num_buffered == p.num_core + outsiders.size
+
+    def test_more_patches_than_points(self):
+        means = cloud(3)
+        patches = buffered_spatial_partition(means, 6, buffer=0.5)
+        assert len(patches) == 6
+        assert sum(p.num_core for p in patches) == 3
+        for p in patches[3:]:
+            assert p.num_core == p.num_buffered == 0
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            buffered_spatial_partition(cloud(10), 2, buffer=-0.1)
+
+
+class TestPartitionScene:
+    def test_every_nonempty_patch_gets_cameras(self, scene):
+        patches = partition_scene(scene.initial, scene.train_cameras, 4)
+        for p in patches:
+            assert p.num_cameras >= 1
+            assert np.all(p.camera_ids >= 0)
+            assert np.all(p.camera_ids < len(scene.train_cameras))
+
+    def test_empty_patches_tolerated(self, scene):
+        sub = scene.initial.select(np.arange(3))
+        patches = partition_scene(sub, scene.train_cameras, 8)
+        assert len(patches) == 8
+        for p in patches:
+            if p.num_core == 0:
+                assert p.num_cameras == 0
+
+    def test_min_cameras_floor(self, scene):
+        patches = partition_scene(
+            scene.initial, scene.train_cameras, 4, min_cameras=3
+        )
+        for p in patches:
+            if p.num_core:
+                assert p.num_cameras >= 3
+
+    def test_default_buffer_scales_with_extent(self, scene):
+        b = default_buffer(scene.initial.means)
+        span = float(np.max(np.ptp(scene.initial.means, axis=0)))
+        assert 0 < b < span
+
+    def test_requires_cameras(self, scene):
+        with pytest.raises(ValueError):
+            partition_scene(scene.initial, [], 4)

@@ -23,6 +23,41 @@ class TestFrameKey:
         b = frame_key(make_camera(), 0, 0)
         assert a == b
 
+    def test_negative_zero_pose_entries_share_a_key(self):
+        """Axis-aligned poses emit -0.0 rotation entries; the two zeros
+        are bit-different but render identically, so they must hash to
+        one key (regression: byte-hashing raw floats split them)."""
+        base = make_camera(position=np.array([0.0, 0.0, 10.0]))
+        rot_pos = base.world_to_cam_rot + 0.0  # every zero is +0.0
+        rot_neg = np.where(rot_pos == 0.0, -0.0, rot_pos)  # ... -0.0
+
+        def variant(rot):
+            return Camera(
+                width=base.width,
+                height=base.height,
+                fx=base.fx,
+                fy=base.fy,
+                cx=base.cx,
+                cy=base.cy,
+                world_to_cam_rot=rot,
+                world_to_cam_trans=base.world_to_cam_trans,
+                near=base.near,
+                far=base.far,
+            )
+
+        # liveness: the rotations really are bit-different...
+        assert np.any(rot_pos == 0.0)
+        assert not np.array_equal(np.signbit(rot_pos), np.signbit(rot_neg))
+        # ...yet equal poses share one cache line
+        assert frame_key(variant(rot_pos), 0, 0) == frame_key(
+            variant(rot_neg), 0, 0
+        )
+
+    def test_two_axis_aligned_look_at_poses_share_a_key(self):
+        a = make_camera(position=np.array([0.0, 0.0, 10.0]))
+        b = make_camera(position=np.array([0.0, 0.0, 10.0]))
+        assert frame_key(a, 0, 0) == frame_key(b, 0, 0)
+
     def test_pose_size_lod_version_all_distinguish(self):
         base = frame_key(make_camera(), 0, 0)
         moved = frame_key(
@@ -53,6 +88,31 @@ class TestFrameCache:
         hit = cache.get(key)
         with pytest.raises(ValueError):
             hit[0, 0, 0] = 0.0
+
+    def test_view_is_snapshotted_against_base_mutation(self):
+        """Regression: caching a reshaped view of a renderer's flat
+        buffer froze the view but left the base writable — rewriting the
+        buffer poisoned later hits."""
+        cache = FrameCache(1 << 20)
+        key = frame_key(make_camera(), 0, 0)
+        flat = np.random.default_rng(0).random(8 * 8 * 3)
+        view = flat.reshape(8, 8, 3)
+        expected = view.copy()
+        cache.put(key, view)
+        flat[:] = -1.0  # renderer reuses its pixel buffer
+        hit = cache.get(key)
+        assert np.array_equal(hit, expected)
+        assert not hit.flags.writeable
+        with pytest.raises(ValueError):
+            hit[0, 0, 0] = 0.0
+
+    def test_owning_array_not_copied(self):
+        cache = FrameCache(1 << 20)
+        key = frame_key(make_camera(), 0, 0)
+        image = frame(1)
+        cache.put(key, image)
+        assert cache.get(key) is image  # frozen in place, no snapshot
+        assert not image.flags.writeable
 
     def test_lru_eviction_respects_byte_budget(self):
         img = frame(0)

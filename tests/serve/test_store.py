@@ -297,3 +297,38 @@ class TestCheckpointOpen:
             paged.gather(np.arange(ref.num_gaussians)), ref.params
         )
         paged.close()
+
+
+class TestEmptyShards:
+    """More shards than splats: the partitioner pads empty shards, whose
+    zero-row pages must build, seal, page, and gather under every codec
+    (regression guard for the patch pipeline's tiny-cell outputs)."""
+
+    @pytest.mark.parametrize("codec", ("raw", "float16", "lossless"))
+    def test_paged_store_with_empty_shards(self, scene, codec):
+        model = scene.oracle.select(np.arange(3))
+        paged = PagedServingStore.from_model(
+            model, tight_budget(3, num_shards=8), num_shards=8, codec=codec
+        )
+        assert len(paged.shards) == 8
+        assert any(r.size == 0 for r in paged.shard_rows)
+        gathered = paged.gather(np.arange(3))
+        geo = layout.GEOMETRIC_SLICE
+        ng = layout.NON_GEOMETRIC_SLICE
+        assert np.array_equal(gathered[:, geo], model.params[:, geo])
+        if codec == "float16":  # lossy on the paged block, by design
+            np.testing.assert_allclose(
+                gathered[:, ng], model.params[:, ng], rtol=2e-3, atol=1e-6
+            )
+        else:
+            assert np.array_equal(gathered[:, ng], model.params[:, ng])
+        assert paged.gather(np.empty(0, dtype=np.int64)).shape == (
+            0,
+            layout.PARAM_DIM,
+        )
+        paged.close()
+
+    def test_in_memory_store_empty_gather(self, scene):
+        store = InMemoryServingStore.from_model(scene.oracle)
+        ids = np.empty(0, dtype=np.int64)
+        assert store.gather(ids).shape == (0, layout.PARAM_DIM)

@@ -1,0 +1,86 @@
+"""Patch-farm schedule model: makespan bounds, packing, memory."""
+
+import pytest
+
+from repro.sim import get_platform, simulate_patch_farm
+
+PLATFORM = get_platform("laptop_4070m")
+SIZES = [30_000, 24_000, 18_000, 12_000]
+PIXELS = 640 * 360
+
+
+def farm(sizes=SIZES, jobs=2, **kwargs):
+    defaults = dict(iterations=100, num_pixels=PIXELS)
+    defaults.update(kwargs)
+    return simulate_patch_farm(PLATFORM, sizes, jobs, **defaults)
+
+
+class TestSchedule:
+    def test_makespan_bounds(self):
+        result = farm(jobs=2)
+        total = sum(result.patch_seconds)
+        assert max(result.patch_seconds) <= result.makespan_seconds <= total
+
+    def test_single_job_serializes(self):
+        result = farm(jobs=1)
+        assert result.makespan_seconds == pytest.approx(
+            sum(result.patch_seconds)
+        )
+        assert set(result.assignments) == {0}
+
+    def test_more_jobs_never_slower(self):
+        one = farm(jobs=1)
+        two = farm(jobs=2)
+        four = farm(jobs=4)
+        assert two.makespan_seconds <= one.makespan_seconds
+        assert four.makespan_seconds <= two.makespan_seconds
+
+    def test_empty_patches_cost_nothing(self):
+        result = farm(sizes=[20_000, 0, 15_000, 0], jobs=2)
+        assert result.assignments[1] == result.assignments[3] == -1
+        assert result.patch_seconds[1] == result.patch_seconds[3] == 0.0
+        busy = [a for a in result.assignments if a >= 0]
+        assert len(busy) == 2
+
+    def test_every_nonempty_patch_assigned(self):
+        result = farm(jobs=3)
+        assert all(0 <= a < 3 for a in result.assignments)
+
+
+class TestMemoryModel:
+    def test_farm_peak_below_monolithic(self):
+        result = farm(jobs=2)
+        assert result.peak_host_bytes < result.monolithic_peak_host_bytes
+
+    def test_all_jobs_at_once_matches_monolithic(self):
+        """With every patch resident simultaneously and no overlap, the
+        farm's peak equals the monolithic training state."""
+        result = farm(jobs=len(SIZES))
+        assert result.peak_host_bytes == result.monolithic_peak_host_bytes
+
+    def test_peak_counts_largest_concurrent_patches(self):
+        one = farm(jobs=1)
+        two = farm(jobs=2)
+        assert one.peak_host_bytes < two.peak_host_bytes
+
+
+class TestValidation:
+    def test_bad_jobs(self):
+        with pytest.raises(ValueError):
+            farm(jobs=0)
+
+    def test_bad_iterations(self):
+        with pytest.raises(ValueError):
+            farm(iterations=-1)
+
+    def test_zero_iterations_zero_time(self):
+        result = farm(iterations=0)
+        assert result.makespan_seconds == 0.0
+        assert result.monolithic_seconds == 0.0
+
+
+def test_speedup_grows_with_jobs():
+    """The quantity the farm exists for: packing patches over more jobs
+    shrinks wall clock relative to the monolith."""
+    speedups = [farm(jobs=j).speedup for j in (1, 2, 4)]
+    assert speedups == sorted(speedups)

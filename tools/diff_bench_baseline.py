@@ -29,6 +29,7 @@ THRESHOLD = 2.5
 COST_KEYS = (
     "forward_s", "backward_s", "step_s", "roundtrip_s",
     "page_in_s", "page_out_s", "sync_spill_s", "page_stall_fraction",
+    "pipeline_s", "monolithic_s", "makespan_s",
 )
 #: Higher-is-better measurements (throughput): the regression ratio
 #: inverts for these.
@@ -38,7 +39,11 @@ TIMING_KEYS = COST_KEYS + RATE_KEYS
 
 def entry_key(entry):
     return tuple(
-        sorted((k, v) for k, v in entry.items() if k not in TIMING_KEYS)
+        sorted(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in entry.items()
+            if k not in TIMING_KEYS
+        )
     )
 
 
