@@ -6,8 +6,8 @@ deferred optimizer update), the GS-Scale trainer and its system variants,
 and the performance simulator used to regenerate the paper's figures.
 """
 
-from . import bench, cameras, core, datasets, densify, gaussians, io, metrics
-from . import optim, recon, render, serve, sim, train
+from . import bench, cameras, core, datasets, densify, faults, gaussians, io
+from . import metrics, optim, recon, render, serve, sim, train
 from .cameras import Camera
 from .core import (
     GSScaleConfig,
@@ -49,6 +49,7 @@ __all__ = [
     "create_system",
     "datasets",
     "densify",
+    "faults",
     "frustum_cull",
     "load_checkpoint",
     "load_colmap",

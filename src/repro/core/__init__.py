@@ -1,6 +1,11 @@
 """GS-Scale core: parameter stores, offload systems, splitting, trainer."""
 
 from .config import SYSTEM_NAMES, GSScaleConfig
+from .integrity import (
+    CorruptCheckpointError,
+    CorruptPageError,
+    IntegrityError,
+)
 from .splitting import (
     ImageSplit,
     SpatialPatch,
@@ -37,7 +42,10 @@ from .trainer import EvalResult, Trainer, TrainingHistory
 
 __all__ = [
     "BaselineOffloadSystem",
+    "CorruptCheckpointError",
+    "CorruptPageError",
     "DeviceStore",
+    "IntegrityError",
     "DiskStore",
     "EvalResult",
     "GPUOnlySystem",

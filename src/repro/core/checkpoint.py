@@ -14,18 +14,46 @@ settles each shard one at a time under the resident-set budget, a spilled
 directly (so serialization streams from the spill files), and loading a
 checkpoint into a spilled store writes straight back into the memmaps —
 the resident working set never exceeds the budget on either path.
+
+Durability: checkpoints are written atomically (temp + fsync + rename via
+:func:`~repro.core.integrity.atomic_savez`), so a crash mid-save leaves
+the previous checkpoint intact. On the read side, torn or unreadable
+files surface as :class:`~repro.core.integrity.CorruptCheckpointError`
+— naming the file, the failing block, and the expected/actual sizes —
+instead of raw ``zipfile``/numpy errors, so recovery code (the patch
+pipeline's last-good-checkpoint fallback) can route on the exception
+type. Genuine *mismatches* (wrong version / system / scene size / shard
+layout) stay ``ValueError``: those files are intact, just not the one
+the caller wanted.
 """
 
 from __future__ import annotations
 
+import os
+import zipfile
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..gaussians import GaussianModel, layout
+from .integrity import CorruptCheckpointError, atomic_savez
 from .systems import TrainingSystem
 
 _FORMAT_VERSION = 2
+
+#: Exception types that mean "the file is damaged", as opposed to the
+#: intentional ValueErrors for version/system/layout mismatches.
+_CORRUPTION_ERRORS = (
+    zipfile.BadZipFile, zlib.error, EOFError, OSError, KeyError
+)
+
+
+def _file_size(path: str) -> int | None:
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return None
 
 
 def _prefix(p: str) -> str:
@@ -54,7 +82,24 @@ def save_checkpoint(path: str, system: TrainingSystem) -> None:
         arrays[p + "cols"] = np.array([store.block.start, store.block.stop])
         if rows is not None:
             arrays[p + "rows"] = rows
-    np.savez_compressed(path, **arrays)
+    atomic_savez(path, arrays)
+
+
+def _open_checkpoint(path: str):
+    """``np.load`` that reports unreadable files as corruption.
+
+    Version/system/layout *mismatches* are checked by the callers after a
+    successful open and stay ``ValueError`` — this wrapper only converts
+    "cannot even parse the archive" failures.
+    """
+    try:
+        return np.load(path, allow_pickle=False)
+    except (*_CORRUPTION_ERRORS, ValueError) as exc:
+        raise CorruptCheckpointError(
+            path,
+            detail=f"unreadable archive ({type(exc).__name__}: {exc})",
+            actual=_file_size(path),
+        ) from exc
 
 
 def load_checkpoint(path: str, system: TrainingSystem) -> None:
@@ -62,9 +107,11 @@ def load_checkpoint(path: str, system: TrainingSystem) -> None:
 
     The system must have been created with the same configuration (system
     name, scene size, and — for sharded systems — shard layout) the
-    checkpoint was saved from.
+    checkpoint was saved from. A torn or unreadable file raises
+    :class:`~repro.core.integrity.CorruptCheckpointError`; configuration
+    mismatches raise ``ValueError``.
     """
-    with np.load(path, allow_pickle=False) as data:
+    with _open_checkpoint(path) as data:
         version = int(data["version"])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported checkpoint version {version}")
@@ -82,16 +129,26 @@ def load_checkpoint(path: str, system: TrainingSystem) -> None:
         system.iteration = int(data["iteration"])
         for prefix, store, rows in system.checkpoint_entries():
             p = _prefix(prefix)
-            if rows is not None and not np.array_equal(data[p + "rows"], rows):
-                raise ValueError(
-                    f"shard layout of store {prefix!r} differs from the "
-                    "checkpoint (was the model or num_shards changed?)"
-                )
-            state = {
-                key: data[p + key]
-                for key in ("params", "m", "v", "steps", "counter")
-                if p + key in data
-            }
+            try:
+                if rows is not None and not np.array_equal(
+                    data[p + "rows"], rows
+                ):
+                    raise ValueError(
+                        f"shard layout of store {prefix!r} differs from the "
+                        "checkpoint (was the model or num_shards changed?)"
+                    )
+                state = {
+                    key: data[p + key]
+                    for key in ("params", "m", "v", "steps", "counter")
+                    if p + key in data
+                }
+            except _CORRUPTION_ERRORS as exc:
+                raise CorruptCheckpointError(
+                    path,
+                    block=p or "(root)",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    actual=_file_size(path),
+                ) from exc
             store.load_state_dict(state)
 
 
@@ -140,7 +197,29 @@ def write_model_checkpoint(
         raise ValueError(
             f"blocks cover {covered} rows, expected {num_gaussians}"
         )
-    np.savez_compressed(path, **arrays)
+    atomic_savez(path, arrays)
+
+
+def validate_checkpoint(path: str, deep: bool = False) -> str | None:
+    """Check a checkpoint for corruption; ``None`` when it looks good.
+
+    Returns the failure detail string otherwise (missing file, torn
+    archive, unreadable header). With ``deep=True`` every parameter
+    block is decompressed — catching tears past the archive index that a
+    shallow open slides over — at the cost of reading the whole file.
+    The patch pipeline calls this before trusting a manifest that claims
+    a checkpoint is complete.
+    """
+    if not os.path.exists(path):
+        return f"missing checkpoint {path}"
+    try:
+        with CheckpointReader(path) as reader:
+            if deep:
+                for info in reader.blocks():
+                    reader.block_params(info)
+    except (CorruptCheckpointError, ValueError) as exc:
+        return str(exc)
+    return None
 
 
 def resume_model(path: str) -> GaussianModel:
@@ -184,22 +263,36 @@ class CheckpointReader:
     """
 
     def __init__(self, path: str):
-        self._data = np.load(path, allow_pickle=False)
-        version = int(self._data["version"])
-        if version != _FORMAT_VERSION:
+        self._path = path
+        self._data = _open_checkpoint(path)
+        try:
+            version = int(self._data["version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(f"unsupported checkpoint version {version}")
+            self.num_gaussians = int(self._data["num_gaussians"])
+            self.system = str(self._data["system"])
+            self.iteration = int(self._data["iteration"])
+            self._blocks = []
+            for key in self._data.files:
+                if not key.endswith("cols"):
+                    continue
+                p = key[: -len("cols")]
+                start, stop = (int(c) for c in self._data[key])
+                rows = (
+                    self._data[p + "rows"]
+                    if p + "rows" in self._data else None
+                )
+                self._blocks.append(CheckpointBlockInfo(p, start, stop, rows))
+        except _CORRUPTION_ERRORS as exc:
             self._data.close()
-            raise ValueError(f"unsupported checkpoint version {version}")
-        self.num_gaussians = int(self._data["num_gaussians"])
-        self.system = str(self._data["system"])
-        self.iteration = int(self._data["iteration"])
-        self._blocks = []
-        for key in self._data.files:
-            if not key.endswith("cols"):
-                continue
-            p = key[: -len("cols")]
-            start, stop = (int(c) for c in self._data[key])
-            rows = self._data[p + "rows"] if p + "rows" in self._data else None
-            self._blocks.append(CheckpointBlockInfo(p, start, stop, rows))
+            raise CorruptCheckpointError(
+                path,
+                detail=f"header/index unreadable ({type(exc).__name__}: {exc})",
+                actual=_file_size(path),
+            ) from exc
+        except Exception:
+            self._data.close()
+            raise
         # deterministic order: by column range, then shard rows
         self._blocks.sort(key=lambda b: (b.start, b.prefix))
 
@@ -207,9 +300,32 @@ class CheckpointReader:
         """Every stored block's location (no parameter data loaded)."""
         return list(self._blocks)
 
+    def _member_size(self, key: str) -> int | None:
+        """Uncompressed size the archive index promises for one member."""
+        try:
+            info = self._data.zip.NameToInfo.get(key + ".npy")
+        except AttributeError:
+            return None
+        return None if info is None else int(info.file_size)
+
     def block_params(self, info: CheckpointBlockInfo) -> np.ndarray:
-        """Committed parameter values of one block (loads only it)."""
-        return np.asarray(self._data[info.prefix + "params"])
+        """Committed parameter values of one block (loads only it).
+
+        A truncated or undecodable ``.npz`` member raises
+        :class:`~repro.core.integrity.CorruptCheckpointError` carrying
+        the file, block, and expected/actual sizes.
+        """
+        key = info.prefix + "params"
+        try:
+            return np.asarray(self._data[key])
+        except (*_CORRUPTION_ERRORS, ValueError) as exc:
+            raise CorruptCheckpointError(
+                self._path,
+                block=key,
+                detail=f"{type(exc).__name__}: {exc}",
+                expected=self._member_size(key),
+                actual=_file_size(self._path),
+            ) from exc
 
     def iter_column_blocks(self, cols: slice):
         """Yield ``(rows, col_slice, values)`` for blocks touching ``cols``.

@@ -89,6 +89,20 @@ class GSScaleConfig:
             a background writer thread (epoch-fenced, drained before
             densification rebuilds and checkpoints) instead of writing
             them synchronously on the admit path.
+        page_integrity: checksum the ``outofcore`` system's spill pages
+            (CRC32 on raw memory-mapped pages, sealed ``GSP1`` headers
+            on encoded ones) so silent disk corruption raises
+            :class:`~repro.core.integrity.CorruptPageError` at page-in
+            instead of corrupting the trajectory. On by default; the
+            checksum cost is per page-in/out, not per step.
+        pool_retries: how many times a supervised
+            :class:`~repro.render.parallel.PersistentPool` map is
+            re-dispatched after a worker death or task deadline before
+            giving up with :class:`~repro.render.parallel.
+            PoolFaultError`.
+        pool_task_timeout_s: optional per-map deadline (seconds) on
+            pooled raster/shard work; a map exceeding it is treated like
+            a worker death (respawn + retry). ``None`` waits forever.
         raster: rasterizer thresholds and backend selection.
         engine: one-shot convenience override for ``raster.engine`` — one
             of :data:`repro.render.rasterize.ENGINES` (``"reference"``,
@@ -124,6 +138,9 @@ class GSScaleConfig:
     page_codec: str = "raw"
     prefetch_depth: int = 1
     write_behind: bool = False
+    page_integrity: bool = True
+    pool_retries: int = 2
+    pool_task_timeout_s: float | None = None
     raster: RasterConfig = field(default_factory=RasterConfig)
     engine: str | None = None
     background: np.ndarray | None = None
@@ -153,6 +170,10 @@ class GSScaleConfig:
                 "prefetch_depth > 1 requires async_prefetch=True "
                 "(the staging queue is the async leg's lookahead)"
             )
+        if self.pool_retries < 0:
+            raise ValueError("pool_retries must be >= 0")
+        if self.pool_task_timeout_s is not None and self.pool_task_timeout_s <= 0:
+            raise ValueError("pool_task_timeout_s must be positive (or None)")
         if self.engine is not None:
             if self.engine != self.raster.engine:
                 # replace() re-runs RasterConfig validation on the name

@@ -25,6 +25,15 @@ Three codecs, all stdlib-only and deterministic:
   shuffle groups the k-th byte of every float together (exponent bytes
   compress far better than mantissa noise), which is what makes zlib
   worthwhile on floating-point pages at all.
+
+Encoded page *files* are sealed: :meth:`PageCodec.encode_page` frames
+the codec payload with the :mod:`repro.core.integrity` GSP1 header
+(magic + length + CRC32) and :meth:`PageCodec.decode_page` validates it,
+so a torn or bit-rotted ``.pagez`` surfaces as a
+:class:`~repro.core.integrity.CorruptPageError` naming the file instead
+of an opaque decode error. The seal lives at the file layer, not inside
+``encode``/``decode`` — compression-ratio accounting and the codec
+round-trip contract see pure payload bytes.
 """
 
 from __future__ import annotations
@@ -32,6 +41,8 @@ from __future__ import annotations
 import zlib
 
 import numpy as np
+
+from .integrity import seal_page, unseal_page
 
 __all__ = ["PageCodec", "PAGE_CODECS", "get_page_codec"]
 
@@ -58,6 +69,19 @@ class PageCodec:
 
     def decode(self, buf: bytes, shape: tuple, dtype) -> np.ndarray:
         raise NotImplementedError
+
+    def encode_page(self, arr: np.ndarray) -> bytes:
+        """Encode and seal one page for on-disk storage."""
+        return seal_page(self.encode(arr))
+
+    def decode_page(self, buf: bytes, shape: tuple, dtype,
+                    path: str = "") -> np.ndarray:
+        """Validate a sealed page and decode its payload.
+
+        Raises :class:`~repro.core.integrity.CorruptPageError` (tagged
+        with ``path``) when the seal does not check out.
+        """
+        return self.decode(unseal_page(buf, path), shape, dtype)
 
 
 class RawCodec(PageCodec):

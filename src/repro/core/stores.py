@@ -59,6 +59,8 @@ from ..optim.adam import DenseAdam
 from ..optim.base import AdamConfig, SparseOptimizer
 from ..optim.deferred import DeferredAdam
 from ..sim.memory import MemoryTracker
+from . import integrity as _integrity
+from .integrity import CorruptPageError, atomic_write_bytes
 from .pagecodec import get_page_codec
 
 _F32 = 4  # accounting is in float32-equivalent bytes
@@ -563,6 +565,14 @@ class DiskStore(HostStore):
             detach the working set and queue the file write behind the
             training thread (write-behind spilling); a page-in before the
             write lands re-adopts the detached arrays and cancels it.
+        integrity: verify page integrity on every page-in. Encoded pages
+            get the sealed GSP1 header (length + CRC32) and atomic
+            temp-fsync-rename writes; raw memmap pages — whose on-disk
+            bytes must stay exactly the array (the ledger equates their
+            disk and host sizes) — are checked against an in-memory CRC
+            taken at spill time. A failed check raises
+            :class:`~repro.core.integrity.CorruptPageError` naming the
+            file instead of feeding garbage into the step.
     """
 
     def __init__(
@@ -580,6 +590,7 @@ class DiskStore(HostStore):
         max_defer: int = 15,
         codec: str = "raw",
         writer: "_WriteBehindWriter | None" = None,
+        integrity: bool = True,
     ):
         super().__init__(
             params_block, block, adam, memory, ledger,
@@ -589,6 +600,8 @@ class DiskStore(HostStore):
         self._dtype = self.params.dtype
         self.spill_path = spill_path
         self.codec = get_page_codec(codec)
+        self.integrity = integrity
+        self._page_crc: dict[str, int] = {}
         self.writer = writer
         self.host_memory = host_memory if host_memory is not None else MemoryTracker()
         self.resident_set = resident_set
@@ -662,7 +675,14 @@ class DiskStore(HostStore):
 
     # -- page files (codec-aware) ------------------------------------------
     def _encode_pages(self, arrays: dict[str, np.ndarray]) -> dict[str, bytes]:
-        encoded = {f: self.codec.encode(arrays[f]) for f in ("params", "m", "v")}
+        if self.integrity:
+            encoded = {
+                f: self.codec.encode_page(arrays[f]) for f in ("params", "m", "v")
+            }
+        else:
+            encoded = {
+                f: self.codec.encode(arrays[f]) for f in ("params", "m", "v")
+            }
         self._disk_nbytes = {f: len(buf) for f, buf in encoded.items()}
         return encoded
 
@@ -677,24 +697,51 @@ class DiskStore(HostStore):
                 self._mm[field][...] = arrays[field]
             for mm in self._mm.values():
                 mm.flush()
+            if self.integrity:
+                self._page_crc = {
+                    f: _integrity.checksum(np.ascontiguousarray(arrays[f]))
+                    for f in ("params", "m", "v")
+                }
             return
         if encoded is None:
             encoded = self._encode_pages(arrays)
         for field, buf in encoded.items():
-            with open(self._page_files[field], "wb") as fh:
-                fh.write(buf)
+            if self.integrity:
+                atomic_write_bytes(self._page_files[field], buf, fsync=False)
+            else:
+                with open(self._page_files[field], "wb") as fh:
+                    fh.write(buf)
 
     def _read_pages(self) -> dict[str, np.ndarray]:
-        """Read + decode the spill files into fresh writable arrays."""
+        """Read + decode the spill files into fresh writable arrays.
+
+        With integrity enabled, a torn or bit-rotted page raises
+        :class:`~repro.core.integrity.CorruptPageError` naming the file.
+        """
         if self.codec.name == "raw":
-            return {f: np.array(self._mm[f]) for f in ("params", "m", "v")}
+            arrays = {f: np.array(self._mm[f]) for f in ("params", "m", "v")}
+            if self.integrity and self._page_crc:
+                for field, arr in arrays.items():
+                    actual = _integrity.checksum(arr)
+                    if actual != self._page_crc[field]:
+                        raise CorruptPageError(
+                            f"{self.spill_path}.{field}.dat",
+                            f"checksum mismatch: spill recorded "
+                            f"{self._page_crc[field]:#010x}, read {actual:#010x}",
+                        )
+            return arrays
         arrays = {}
         for field, path in self._page_files.items():
             with open(path, "rb") as fh:
                 buf = fh.read()
-            arrays[field] = self.codec.decode(
-                buf, (self._n, self._d), self._dtype
-            )
+            if self.integrity:
+                arrays[field] = self.codec.decode_page(
+                    buf, (self._n, self._d), self._dtype, path=path
+                )
+            else:
+                arrays[field] = self.codec.decode(
+                    buf, (self._n, self._d), self._dtype
+                )
         return arrays
 
     def spill(self) -> None:
@@ -908,9 +955,14 @@ class DiskStore(HostStore):
                 for field, path in self._page_files.items():
                     with open(path, "rb") as fh:
                         buf = fh.read()
-                    pages[field] = self.codec.decode(
-                        buf, (self._n, self._d), storage
-                    )
+                    if self.integrity:
+                        pages[field] = self.codec.decode_page(
+                            buf, (self._n, self._d), storage, path=path
+                        )
+                    else:
+                        pages[field] = self.codec.decode(
+                            buf, (self._n, self._d), storage
+                        )
                 state = pages
             state["steps"] = np.array(self.optimizer.step_count)
             if self.deferred:

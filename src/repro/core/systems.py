@@ -713,7 +713,9 @@ class ShardedGSScaleSystem(TrainingSystem):
             return None
         if self._pool is None:
             self._pool = PersistentPool(
-                min(self.config.shard_workers, self.num_shards)
+                min(self.config.shard_workers, self.num_shards),
+                task_timeout=self.config.pool_task_timeout_s,
+                max_retries=self.config.pool_retries,
             )
         return self._pool
 
@@ -1294,6 +1296,7 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
             max_defer=cfg.max_defer,
             codec=cfg.page_codec,
             writer=self._writer,
+            integrity=cfg.page_integrity,
         )
 
     # -- spill / prefetch lifecycle ---------------------------------------

@@ -19,6 +19,15 @@ read, the interrupted one picks up from its last checkpoint.
 Failures are contained: a job that raises reports ``status="failed"``
 with the exception text instead of poisoning the pool, and the driver
 surfaces every failure in its :class:`PatchRunReport`.
+
+Checkpoints are crash-safe end to end: saves are atomic and the previous
+checkpoint is rotated to ``<path>.prev`` first, so a save torn by a
+mid-write crash costs one chunk of progress, not the patch — the next
+run detects the tear (:class:`~repro.core.integrity.
+CorruptCheckpointError`), reloads ``.prev``, and takes its resume
+position from the checkpoint's own iteration counter. Manifests that
+claim completion are never trusted without validating the checkpoint
+they point at.
 """
 
 from __future__ import annotations
@@ -30,8 +39,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cameras.camera import Camera
-from ..core.checkpoint import load_checkpoint, save_checkpoint
+from ..core.checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+    validate_checkpoint,
+)
 from ..core.config import GSScaleConfig
+from ..core.integrity import CorruptCheckpointError
 from ..core.trainer import Trainer
 from ..gaussians import GaussianModel
 from ..render.parallel import PersistentPool
@@ -115,10 +129,24 @@ def _paths(workdir: str, index: int) -> tuple[str, str]:
 
 
 def _read_manifest(path: str) -> dict | None:
+    """Read a job manifest; unreadable or torn manifests read as absent.
+
+    The manifest only memoizes progress — treating a damaged one as "no
+    manifest" costs at most a re-resume from the checkpoint, which is
+    strictly safer than trusting half a JSON file.
+    """
     if not os.path.exists(path):
         return None
-    with open(path) as fh:
-        return json.load(fh)
+    try:
+        with open(path) as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict) or not {
+        "status", "iterations_done", "num_gaussians"
+    } <= manifest.keys():
+        return None
+    return manifest
 
 
 def _write_manifest(path: str, manifest: dict) -> None:
@@ -170,7 +198,11 @@ def _run_patch_job(spec: PatchJobSpec) -> PatchJobResult:
         and done > 0
         and os.path.exists(spec.checkpoint_path)
     )
-    if resumable and done >= spec.iterations:
+    if (
+        resumable
+        and done >= spec.iterations
+        and validate_checkpoint(spec.checkpoint_path) is None
+    ):
         return PatchJobResult(
             index=spec.index,
             status="skipped",
@@ -183,10 +215,33 @@ def _run_patch_job(spec: PatchJobSpec) -> PatchJobResult:
     status = "trained"
     start = 0
     if resumable:
-        load_checkpoint(spec.checkpoint_path, trainer.system)
-        start, status = done, "resumed"
+        try:
+            load_checkpoint(spec.checkpoint_path, trainer.system)
+            start, status = done, "resumed"
+        except CorruptCheckpointError:
+            # torn mid-write: fall back to the rotated last-good
+            # checkpoint. The start position comes from the checkpoint
+            # itself (system.iteration counts completed steps), so a
+            # manifest that ran ahead of — or behind — the tear cannot
+            # desynchronize the deterministic schedule.
+            trainer = Trainer(GaussianModel(spec.params), spec.config)
+            prev = spec.checkpoint_path + ".prev"
+            if os.path.exists(prev):
+                try:
+                    load_checkpoint(prev, trainer.system)
+                    start = int(trainer.system.iteration)
+                    status = "resumed"
+                except CorruptCheckpointError:
+                    trainer = Trainer(GaussianModel(spec.params), spec.config)
 
     def snapshot(iterations_done: int) -> None:
+        # rotate the last good checkpoint aside before overwriting it:
+        # should this save tear (crash mid-write), the next attempt
+        # resumes from .prev instead of starting over
+        if os.path.exists(spec.checkpoint_path):
+            os.replace(
+                spec.checkpoint_path, spec.checkpoint_path + ".prev"
+            )
         save_checkpoint(spec.checkpoint_path, trainer.system)
         _write_manifest(
             spec.manifest_path,
@@ -292,7 +347,12 @@ def train_patches(
             and int(manifest["iterations_done"]) >= iterations
             and (
                 manifest["status"] == "empty"
-                or os.path.exists(spec.checkpoint_path)
+                or (
+                    os.path.exists(spec.checkpoint_path)
+                    # a complete-looking manifest next to a torn
+                    # checkpoint must re-dispatch, not skip forever
+                    and validate_checkpoint(spec.checkpoint_path) is None
+                )
             )
         ):
             report.results[slots[spec.index]] = PatchJobResult(

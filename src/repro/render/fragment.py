@@ -60,6 +60,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import faults
 from .backward import RasterGrads, alloc_grads
 from .engine import (
     TILE_SIZE,
@@ -179,6 +180,7 @@ def _fragment_forward_shard(arr, start, stop, width, height, config, tile_size):
     ids = arr["shard_list"][start:stop]
     if ids.size == 0:
         return None
+    faults.fault_point("fragment:cull")
     tile_ids, sid_isect, tiles_x, _ = tile_intersections(
         arr["bboxes"], width, height, tile_size, order=ids
     )
@@ -188,11 +190,13 @@ def _fragment_forward_shard(arr, start, stop, width, height, config, tile_size):
         arr["means2d"], arr["conics"], arr["opacities"], arr["bboxes"],
         tile_ids, sid_isect, tiles_x, width, height, config, tile_size,
     )
+    faults.fault_point("fragment:pairs")
     if pairs.alpha.size == 0:
         return None
     run_pair, frag_starts, frag_counts, frag_id = _shard_fragments(
         pairs, arr["run_of"]
     )
+    faults.fault_point("fragment:composite")
     lg = np.log2(1.0 - pairs.alpha)
     cum = np.cumsum(lg)
     frag_ends = frag_starts + frag_counts - 1
@@ -232,6 +236,7 @@ def _fragment_backward_shard(
     ids = arr["shard_list"][start:stop]
     if ids.size == 0:
         return None
+    faults.fault_point("fragment:cull")
     means2d, conics, colors = arr["means2d"], arr["conics"], arr["colors"]
     tile_ids, sid_isect, tiles_x, _ = tile_intersections(
         arr["bboxes"], width, height, tile_size, order=ids
@@ -242,11 +247,13 @@ def _fragment_backward_shard(
         means2d, conics, arr["opacities"], arr["bboxes"],
         tile_ids, sid_isect, tiles_x, width, height, config, tile_size,
     )
+    faults.fault_point("fragment:pairs")
     if pairs.alpha.size == 0:
         return None
     run_pair, frag_starts, frag_counts, frag_id = _shard_fragments(
         pairs, arr["run_of"]
     )
+    faults.fault_point("fragment:composite")
     if frag_starts.size != fstop - fstart:
         raise RuntimeError(
             "fragment backward rebuilt a different fragment count than the "

@@ -32,11 +32,13 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import threading
+import time
 import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from .. import faults
 from .backward import RasterGrads, alloc_grads
 from .engine import (
     TILE_SIZE,
@@ -52,7 +54,9 @@ from .tiles import adaptive_span_count, partition_spans
 
 __all__ = [
     "PersistentPool",
+    "PoolFaultError",
     "get_raster_pool",
+    "raster_pool_fault_stats",
     "rasterize_parallel",
     "rasterize_backward_parallel",
     "shutdown_raster_pools",
@@ -81,18 +85,60 @@ def _reap_pools() -> None:
         pool.close()
 
 
-class PersistentPool:
-    """A lazily-started, reusable multiprocessing pool with deterministic
-    teardown.
+class PoolFaultError(RuntimeError):
+    """A pool map kept failing on worker death / deadline after all
+    retries were spent (application exceptions re-raise as themselves)."""
 
-    The shared lifecycle helper of the ``parallel`` raster engine and the
-    sharded system's ``shard_workers`` culling fan-out. Guarantees:
+
+class _WorkerDied(RuntimeError):
+    """Internal: a worker process exited mid-map (supervision signal)."""
+
+
+class _TaskDeadline(RuntimeError):
+    """Internal: an in-flight map exceeded its per-call deadline."""
+
+
+def _supervised_task(payload):
+    """Pool task wrapper that carries a fault plan into the worker.
+
+    Only installed when a :mod:`repro.faults` plan is armed in the
+    parent — production maps ship bare ``(fn, task)`` pickles and never
+    pay for this indirection. The plan is cleared afterward so a
+    persistent worker never leaks one into later, unplanned maps.
+    """
+    fn, index, task, plan = payload
+    faults.install_plan(plan)
+    try:
+        faults.fault_point("pool:task", index=index)
+        return fn(task)
+    finally:
+        faults.clear_plan()
+
+
+class PersistentPool:
+    """A lazily-started, reusable, *supervised* multiprocessing pool.
+
+    The shared lifecycle helper of the ``parallel`` raster engine, the
+    fragment engine, the sharded system's ``shard_workers`` culling
+    fan-out, the render farm, and ``train_patches``. Guarantees:
 
     * workers spawn on first :meth:`map`, not at construction, and are
       reused by every later call (no per-call respawn cost);
-    * :meth:`close` is idempotent and always terminates + joins;
+    * :meth:`close` is idempotent, exception-safe, and bounded — join
+      runs under a hard timeout with a ``kill()`` fallback, so teardown
+      after a worker death can never hang the caller;
     * a failed :meth:`map` tears the pool down before re-raising (wedged
       workers are never left behind for the next call to trip over);
+    * **liveness supervision**: :meth:`map` dispatches asynchronously and
+      polls, watching the worker processes it dispatched onto — a worker
+      that exits mid-map (``stdlib`` ``Pool.map`` would deadlock: the
+      dead worker's task is simply lost) or a map that exceeds its
+      deadline tears the pool down, respawns it, and re-runs the whole
+      map with exponential backoff. Every task kind routed through this
+      pool is a pure function of its payload, so the retried map is
+      bit-identical to what the fault-free run would have produced.
+      Application exceptions are *not* retried — they re-raise
+      immediately, exactly as before;
     * every live pool is reaped at interpreter exit, so exception paths
       that skip the owner's ``finalize()`` still leak nothing.
 
@@ -101,18 +147,47 @@ class PersistentPool:
         start_method: multiprocessing start method; default prefers
             ``fork`` (cheap, data arrives via shared memory anyway) and
             falls back to the platform default where fork is unavailable.
+        task_timeout: default per-:meth:`map` deadline in seconds
+            (``None`` = no deadline).
+        max_retries: default respawn-and-retry budget per :meth:`map`
+            for worker-death / deadline faults.
+        retry_backoff_s: initial backoff before a retry; doubles per
+            attempt.
+
+    Attributes:
+        worker_deaths, respawns, retries, deadline_hits: cumulative
+            supervision counters, surfaced by :meth:`fault_stats`.
     """
 
-    def __init__(self, processes: int, start_method: str | None = None):
+    #: How often the supervision loop samples result/liveness state.
+    _poll_interval_s = 0.05
+
+    def __init__(
+        self,
+        processes: int,
+        start_method: str | None = None,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+    ):
         if processes < 1:
             raise ValueError("processes must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.processes = processes
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         self._method = (
             start_method
             if start_method is not None
             else self.default_start_method()
         )
         self._pool = None
+        self.worker_deaths = 0
+        self.respawns = 0
+        self.retries = 0
+        self.deadline_hits = 0
         _LIVE_POOLS.add(self)
 
     @staticmethod
@@ -134,20 +209,110 @@ class PersistentPool:
                 self._pool = ctx.Pool(processes=self.processes)
         return self._pool
 
-    def map(self, fn, tasks):
-        """``pool.map`` with start-on-demand and fail-safe teardown."""
-        try:
-            return self._ensure().map(fn, tasks)
-        except Exception:
-            self.close()
-            raise
+    def fault_stats(self) -> dict[str, int]:
+        """Cumulative supervision counters for this pool."""
+        return {
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "deadline_hits": self.deadline_hits,
+        }
 
-    def close(self) -> None:
-        """Terminate and join the workers (no-op when never started)."""
+    def _map_once(self, fn, tasks, timeout):
+        """One supervised map attempt: dispatch async, poll, watch lives.
+
+        Raises :class:`_WorkerDied` when a worker that this map was
+        dispatched onto exits (its in-flight task is lost and the bare
+        result would never complete), :class:`_TaskDeadline` past the
+        per-call deadline. Application exceptions surface through
+        ``result.get`` unchanged.
+        """
+        pool = self._ensure()
+        procs = [p for p in pool._pool if p.exitcode is None]
+        result = pool.map_async(fn, tasks)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                return result.get(timeout=self._poll_interval_s)
+            except mp.TimeoutError:
+                pass
+            dead = [p for p in procs if p.exitcode is not None]
+            if dead:
+                self.worker_deaths += len(dead)
+                raise _WorkerDied(
+                    f"{len(dead)} pool worker(s) exited mid-map "
+                    f"(exitcodes {[p.exitcode for p in dead]})"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                self.deadline_hits += 1
+                raise _TaskDeadline(f"map exceeded {timeout}s deadline")
+
+    def map(self, fn, tasks, timeout=None, retries=None):
+        """Supervised ``pool.map`` with respawn + bounded retry.
+
+        Args:
+            fn: top-level picklable function applied to each task.
+            tasks: task payloads (pure inputs — retried maps re-run all
+                of them, which is only sound because they are).
+            timeout: per-call deadline override (default
+                ``self.task_timeout``).
+            retries: retry-budget override (default ``self.max_retries``).
+        """
+        timeout = self.task_timeout if timeout is None else timeout
+        retries = self.max_retries if retries is None else retries
+        plan = faults.get_plan()
+        if plan is not None:
+            tasks = [
+                (fn, i, task, plan) for i, task in enumerate(tasks)
+            ]
+            fn = _supervised_task
+        else:
+            tasks = list(tasks)
+        backoff = self.retry_backoff_s
+        attempt = 0
+        while True:
+            try:
+                return self._map_once(fn, tasks, timeout)
+            except (_WorkerDied, _TaskDeadline) as exc:
+                self.close()
+                if attempt >= retries:
+                    raise PoolFaultError(
+                        f"map failed after {attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                attempt += 1
+                self.retries += 1
+                self.respawns += 1
+                time.sleep(backoff)
+                backoff *= 2
+            except Exception:
+                self.close()
+                raise
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Terminate and join the workers (idempotent, exception-safe).
+
+        Join runs on a helper thread under ``join_timeout``; if the pool
+        machinery wedges (e.g. after a SIGKILLed worker), the remaining
+        workers are killed outright rather than hanging the caller.
+        """
         pool, self._pool = self._pool, None
-        if pool is not None:
+        if pool is None:
+            return
+        procs = list(getattr(pool, "_pool", None) or [])
+        try:
             pool.terminate()
-            pool.join()
+        except Exception:
+            pass
+        joiner = threading.Thread(target=pool.join, daemon=True)
+        joiner.start()
+        joiner.join(join_timeout)
+        if joiner.is_alive():
+            for proc in procs:
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+            joiner.join(join_timeout)
 
     def __enter__(self) -> "PersistentPool":
         return self
@@ -192,10 +357,35 @@ def shutdown_raster_pools() -> None:
     respawn); they are reaped at interpreter exit. Call this explicitly
     to release the worker processes earlier — the next parallel render
     restarts them.
+
+    Idempotent and exception-safe: the registry is cleared before any
+    teardown runs (so a failure can't leave half-closed pools cached for
+    reuse), every pool is attempted, and the first failure — if any —
+    re-raises after the rest are down.
     """
-    for pool in _RASTER_POOLS.values():
-        pool.close()
+    pools, errors = list(_RASTER_POOLS.values()), []
     _RASTER_POOLS.clear()
+    for pool in pools:
+        try:
+            pool.close()
+        except Exception as exc:  # noqa: BLE001 - collect, close the rest
+            errors.append(exc)
+    if errors:
+        raise errors[0]
+
+
+def raster_pool_fault_stats() -> dict[str, int]:
+    """Aggregate supervision counters across the live raster pools.
+
+    Serving reads this each tick to surface retry/respawn counts in its
+    stats; counters of pools already shut down are not included.
+    """
+    totals = {"worker_deaths": 0, "respawns": 0, "retries": 0,
+              "deadline_hits": 0}
+    for pool in _RASTER_POOLS.values():
+        for key, value in pool.fault_stats().items():
+            totals[key] += value
+    return totals
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +441,7 @@ def _forward_span(arr, start, stop, width, height, tiles_x, config, tile_size):
     ``nz`` are the span's touched pixel ids — disjoint from every other
     span's, because spans cut only at tile boundaries.
     """
+    faults.fault_point("span:forward")
     pairs = pairs_for_isects(
         arr["means2d"], arr["conics"], arr["opacities"], arr["bboxes"],
         arr["tile_ids"][start:stop], arr["sid"][start:stop], tiles_x,
@@ -289,6 +480,7 @@ def _backward_span(arr, start, stop, width, height, tiles_x, config, tile_size):
     result shipped back through the pool by the span's splat count, not
     the scene's.
     """
+    faults.fault_point("span:backward")
     means2d, conics, colors = arr["means2d"], arr["conics"], arr["colors"]
     pairs = pairs_for_isects(
         means2d, conics, arr["opacities"], arr["bboxes"],

@@ -24,11 +24,17 @@ from .service import (
     RenderRequest,
     RenderResponse,
     RenderService,
+    ServeConfig,
     ServeStats,
     default_serve_raster_config,
     requests_from_cameras,
 )
-from .store import InMemoryServingStore, PagedServingStore, ServingStore
+from .store import (
+    InMemoryServingStore,
+    PagedServingStore,
+    PageQuarantinedError,
+    ServingStore,
+)
 
 __all__ = [
     "DEFAULT_LOD_LEVELS",
@@ -37,11 +43,13 @@ __all__ = [
     "InMemoryServingStore",
     "LODLevel",
     "LODSet",
+    "PageQuarantinedError",
     "PagedServingStore",
     "RenderFarm",
     "RenderRequest",
     "RenderResponse",
     "RenderService",
+    "ServeConfig",
     "ServeStats",
     "ServingStore",
     "default_serve_raster_config",

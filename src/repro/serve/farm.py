@@ -133,13 +133,16 @@ class _WorkerPagedStore:
                     )
                 else:
                     # an encoded page is a whole-file read + decode (no
-                    # partial mapping), still read-only on the worker
+                    # partial mapping), still read-only on the worker;
+                    # decode_page validates the GSP1 seal so a corrupt
+                    # page fails this worker's frame, not the fleet
                     with open(path, "rb") as fh:
                         buf = fh.read()
-                    page = get_page_codec(codec_name).decode(
+                    page = get_page_codec(codec_name).decode_page(
                         buf,
                         (num_rows, layout.NON_GEOMETRIC_DIM),
                         self.dtype,
+                        path=path,
                     )
             else:
                 page = np.empty(
@@ -271,12 +274,24 @@ class RenderFarm:
     Args:
         workers: worker-process count; ``<= 1`` renders every batch
             inline (useful as a parity oracle for the pooled path).
+        map_timeout_s: per-batch deadline handed to the supervised
+            pool's :meth:`~repro.render.parallel.PersistentPool.map`
+            (``None`` = the pool's own default).
+        map_retries: worker-death/deadline retry budget per batch
+            (``None`` = the pool's own default).
     """
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        map_timeout_s: float | None = None,
+        map_retries: int | None = None,
+    ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
+        self.map_timeout_s = map_timeout_s
+        self.map_retries = map_retries
         self._shm = None
         self._metas = None
         self._store: ServingStore | None = None
@@ -376,10 +391,14 @@ class RenderFarm:
                     (self._shm.name, self._metas, self._page_specs, task)
                     for task in tasks
                 ],
+                timeout=self.map_timeout_s,
+                retries=self.map_retries,
             )
         return pool.map(
             _frame_task,
             [(self._shm.name, self._metas, task) for task in tasks],
+            timeout=self.map_timeout_s,
+            retries=self.map_retries,
         )
 
     def close(self) -> None:

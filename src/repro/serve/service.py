@@ -26,6 +26,25 @@ Serving defaults to the raster stack's inference fast path
 swap_model` hot-swaps the served model: the version bump plus an eager
 cache flush guarantee no post-swap request is ever answered with a
 pre-swap frame.
+
+Overload and faults degrade gracefully instead of growing the queue or
+killing the tick (:class:`ServeConfig`):
+
+* requests older than ``deadline_s`` at tick time are answered
+  ``rejected``/``deadline`` immediately (rendering them would only make
+  every later request later);
+* when the unique-miss count exceeds ``max_frames_per_tick``, pending
+  misses are *degraded* one LOD at a time — coarser frames are cheaper
+  and re-key onto warmer cache entries — before anything is rejected
+  with ``overload``;
+* one poisoned frame (a quarantined page, a raster error) fails alone:
+  its requests answer ``status="error"`` with the reason while the rest
+  of the batch serves, and a farm-batch failure falls back to inline
+  per-frame rendering rather than failing every frame in it.
+
+Every request submitted is always answered — ok, degraded, rejected
+(with reason), or error (with reason) — never dropped or deadlocked, and
+the retry/respawn/quarantine counts surface in :class:`ServeStats`.
 """
 
 from __future__ import annotations
@@ -37,6 +56,7 @@ import numpy as np
 
 from ..cameras.camera import Camera
 from ..gaussians.model import GaussianModel
+from ..render.parallel import raster_pool_fault_stats
 from ..render.rasterize import RasterConfig
 from .cache import FrameCache, frame_key
 from .farm import FrameTask, RenderFarm, render_frame
@@ -47,6 +67,7 @@ __all__ = [
     "RenderRequest",
     "RenderResponse",
     "RenderService",
+    "ServeConfig",
     "ServeStats",
     "default_serve_raster_config",
     "requests_from_cameras",
@@ -57,6 +78,53 @@ def default_serve_raster_config() -> RasterConfig:
     """Serving renders forward-only: the float32 fast path of the flat
     vectorized engine is the default (training keeps full precision)."""
     return RasterConfig(engine="vectorized", dtype="float32")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Overload and fault-handling knobs for a :class:`RenderService`.
+
+    The defaults reproduce the unguarded service exactly: no deadline,
+    no admission limit, the pool's own supervision defaults.
+
+    Attributes:
+        deadline_s: per-request freshness budget. A request that has
+            been queued longer than this at tick time answers
+            ``rejected``/``deadline`` instead of rendering (``None``
+            disables the check).
+        max_frames_per_tick: admission limit on *unique rendered frames*
+            per tick (cache hits are free and never count). Overflow is
+            first degraded to coarser LODs (see below), then rejected
+            with reason ``overload`` (``None`` = unlimited).
+        degrade_before_reject: when the unique-miss count exceeds the
+            admission limit, bump pending misses one LOD coarser at a
+            time — coarser frames cost less and re-key onto warmer cache
+            entries — and only reject what still exceeds the limit at
+            the coarsest level. ``False`` rejects immediately.
+        map_timeout_s: per-batch deadline for the render farm's
+            supervised pool map (``None`` = the pool's default).
+        map_retries: worker-death/deadline retry budget per farm batch
+            (``None`` = the pool's default).
+    """
+
+    deadline_s: float | None = None
+    max_frames_per_tick: int | None = None
+    degrade_before_reject: bool = True
+    map_timeout_s: float | None = None
+    map_retries: int | None = None
+
+    def __post_init__(self):
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if (
+            self.max_frames_per_tick is not None
+            and self.max_frames_per_tick < 1
+        ):
+            raise ValueError("max_frames_per_tick must be >= 1 (or None)")
+        if self.map_timeout_s is not None and self.map_timeout_s <= 0:
+            raise ValueError("map_timeout_s must be positive (or None)")
+        if self.map_retries is not None and self.map_retries < 0:
+            raise ValueError("map_retries must be >= 0 (or None)")
 
 
 @dataclass(frozen=True)
@@ -102,29 +170,49 @@ class RenderRequest:
 
 @dataclass
 class RenderResponse:
-    """One served frame.
+    """One served frame (or the reason there is none).
 
     Attributes:
         request: the request this answers.
         image: composited RGB ``(H, W, 3)`` (read-only when it came from
-            or went into the cache).
-        lod: level the frame was rendered at.
+            or went into the cache); ``None`` for rejected/errored
+            requests.
+        lod: level the frame was rendered at (for a degraded response,
+            coarser than the request asked for).
         cache_hit: whether the frame came from the pose-keyed cache.
         batch_size: unique frames rendered by the tick that served this.
         latency_s: wall-clock seconds from tick start to batch completion.
+        status: ``"ok"`` | ``"degraded"`` (served coarser than asked) |
+            ``"rejected"`` (never rendered) | ``"error"`` (render failed).
+        reason: why a non-ok response is non-ok (``"deadline"``,
+            ``"overload"``, or the render error text).
     """
 
     request: RenderRequest
-    image: np.ndarray
+    image: np.ndarray | None
     lod: int
     cache_hit: bool
     batch_size: int
     latency_s: float
+    status: str = "ok"
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether a frame was delivered (full or degraded detail)."""
+        return self.image is not None
 
 
 @dataclass
 class ServeStats:
-    """Service-lifetime counters."""
+    """Service-lifetime counters.
+
+    The ``pool_*`` and ``quarantined_pages`` entries mirror the shared
+    raster pools' fault counters and the store's quarantine set at the
+    end of the last tick — they surface infrastructure faults absorbed
+    below the request path (retried maps, respawned workers, pages
+    benched for failing their checksum).
+    """
 
     requests: int = 0
     ticks: int = 0
@@ -134,10 +222,32 @@ class ServeStats:
     deduped: int = 0
     model_swaps: int = 0
     busy_s: float = 0.0
+    degraded: int = 0
+    rejected: int = 0
+    deadline_rejects: int = 0
+    render_errors: int = 0
+    quarantined_pages: int = 0
+    pool_worker_deaths: int = 0
+    pool_respawns: int = 0
+    pool_retries: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view (for JSON benchmark payloads)."""
         return dict(vars(self))
+
+
+@dataclass
+class _PlanEntry:
+    """Mutable per-request state threaded through one tick."""
+
+    request: RenderRequest
+    lod: int = 0
+    camera: Camera | None = None
+    key: bytes = b""
+    cached: np.ndarray | None = None
+    status: str = "pending"  # "pending" | "rejected"
+    reason: str = ""
+    degraded: bool = False
 
 
 class RenderService:
@@ -157,6 +267,8 @@ class RenderService:
             :func:`default_serve_raster_config`. The ``parallel`` engine
             is rejected with ``workers >= 2`` (pools must not nest).
         background: render background color (black when ``None``).
+        serve_config: overload/fault-handling knobs
+            (:class:`ServeConfig`); defaults to the unguarded service.
     """
 
     def __init__(
@@ -167,6 +279,7 @@ class RenderService:
         workers: int = 0,
         config: RasterConfig | None = None,
         background: np.ndarray | None = None,
+        serve_config: ServeConfig | None = None,
     ):
         if isinstance(store, GaussianModel):
             store = InMemoryServingStore.from_model(store)
@@ -184,11 +297,22 @@ class RenderService:
         self.store = store
         self.lod_set = lod_set
         self.background = background
+        self.serve_config = (
+            serve_config if serve_config is not None else ServeConfig()
+        )
         self.cache = FrameCache(cache_bytes) if cache_bytes else None
         self.model_version = 0
         self.stats = ServeStats()
-        self._queue: list[RenderRequest] = []
-        self._farm = RenderFarm(workers) if workers >= 2 else None
+        self._queue: list[tuple[RenderRequest, float]] = []
+        self._farm = (
+            RenderFarm(
+                workers,
+                map_timeout_s=self.serve_config.map_timeout_s,
+                map_retries=self.serve_config.map_retries,
+            )
+            if workers >= 2
+            else None
+        )
         self._publish()
 
     # -- model lifecycle ---------------------------------------------------
@@ -260,7 +384,7 @@ class RenderService:
     def submit(self, request: RenderRequest) -> None:
         """Queue a request for the next :meth:`tick`."""
         self._validate(request)
-        self._queue.append(request)
+        self._queue.append((request, time.monotonic()))
 
     def _validate(self, request: RenderRequest) -> int:
         num_levels = 1 if self.lod_set is None else self.lod_set.num_levels
@@ -272,87 +396,213 @@ class RenderService:
         request.resolved_camera()  # validates the size override
         return request.lod
 
+    def _key_and_probe(self, entry: _PlanEntry) -> None:
+        """(Re)key an entry at its current LOD and probe the cache."""
+        entry.key = frame_key(entry.camera, entry.lod, self.model_version)
+        entry.cached = (
+            self.cache.get(entry.key) if self.cache is not None else None
+        )
+
+    def _miss_keys(self, plan: list[_PlanEntry]) -> set[bytes]:
+        """Unique frames the tick would have to render right now."""
+        return {
+            e.key
+            for e in plan
+            if e.status == "pending" and e.cached is None
+        }
+
+    def _admit(self, plan: list[_PlanEntry], num_levels: int) -> None:
+        """Fit the pending misses into the tick's admission budget.
+
+        Degradation first (when enabled): bump every pending miss one
+        LOD coarser per round — coarser levels are cheaper *and* re-key
+        onto cache entries earlier requests already warmed — until the
+        unique-miss count fits or everything sits at the coarsest level.
+        Whatever still exceeds the budget is rejected with ``overload``,
+        keeping the first admitted keys in submission order.
+        """
+        budget = self.serve_config.max_frames_per_tick
+        if budget is None:
+            return
+        if self.serve_config.degrade_before_reject and num_levels > 1:
+            while len(self._miss_keys(plan)) > budget:
+                bumped = False
+                for e in plan:
+                    if (
+                        e.status == "pending"
+                        and e.cached is None
+                        and e.lod < num_levels - 1
+                    ):
+                        e.lod += 1
+                        e.degraded = True
+                        self._key_and_probe(e)
+                        bumped = True
+                if not bumped:
+                    break
+        if len(self._miss_keys(plan)) <= budget:
+            return
+        kept: set[bytes] = set()
+        for e in plan:
+            if e.status != "pending" or e.cached is not None:
+                continue
+            if e.key in kept:
+                continue
+            if len(kept) < budget:
+                kept.add(e.key)
+            else:
+                e.status, e.reason = "rejected", "overload"
+
+    def _render_tasks(
+        self, tasks: list[tuple[bytes, FrameTask]]
+    ) -> tuple[dict[bytes, np.ndarray], dict[bytes, str]]:
+        """Render unique frames; one poisoned frame fails alone.
+
+        The farm path renders all-or-nothing per batch, so a farm
+        failure (worker deaths past the retry budget, a poisoned task)
+        falls back to inline per-frame rendering where each exception is
+        contained to its own frame. Returns ``(images, errors)`` keyed
+        by frame key.
+        """
+        drop = self.lod_set.drop_level if self.lod_set is not None else None
+        images: dict[bytes, np.ndarray] = {}
+        errors: dict[bytes, str] = {}
+        pending = tasks
+        if self._farm is not None and len(tasks) >= 2:
+            try:
+                batch = self._farm.render_batch([t for _, t in tasks])
+                images = dict(zip((k for k, _ in tasks), batch))
+                pending = []
+            except Exception:  # noqa: BLE001 - containment boundary
+                pending = tasks
+        for key, task in pending:
+            try:
+                images[key] = render_frame(self.store, drop, task)
+            except Exception as exc:  # noqa: BLE001 - containment boundary
+                errors[key] = f"{type(exc).__name__}: {exc}"
+                self.stats.render_errors += 1
+        return images, errors
+
     def tick(self) -> list[RenderResponse]:
-        """Serve every queued request as one batch (submission order)."""
+        """Serve every queued request as one batch (submission order).
+
+        Every queued request gets a response: ``ok``, ``degraded``,
+        ``rejected`` (with reason), or ``error`` (with reason) — the
+        tick never raises for a single bad frame and never drops a
+        request on the floor.
+        """
         queue, self._queue = self._queue, []
         if not queue:
             return []
         t0 = time.perf_counter()
+        now = time.monotonic()
         self.stats.ticks += 1
         self.stats.requests += len(queue)
+        deadline_s = self.serve_config.deadline_s
 
         # 1-2: keys + cache hits. The lod is re-clamped against the
         # *current* LOD set: a hot swap may have shrunk the ladder since
         # the request was validated, and losing the whole batch over a
         # stale level would be worse than serving it at the coarsest
-        # surviving level.
+        # surviving level. Requests already past their deadline reject
+        # up front: rendering them only delays everything younger.
         num_levels = 1 if self.lod_set is None else self.lod_set.num_levels
-        plan = []  # (request, lod, camera, key, cached image | None)
-        for request in queue:
-            lod = min(request.lod, num_levels - 1)
-            camera = request.resolved_camera()
-            key = frame_key(camera, lod, self.model_version)
-            cached = self.cache.get(key) if self.cache is not None else None
-            plan.append((request, lod, camera, key, cached))
+        plan: list[_PlanEntry] = []
+        for request, submitted in queue:
+            entry = _PlanEntry(request=request, lod=request.lod)
+            if deadline_s is not None and now - submitted > deadline_s:
+                entry.status, entry.reason = "rejected", "deadline"
+                self.stats.deadline_rejects += 1
+            else:
+                entry.lod = min(request.lod, num_levels - 1)
+                entry.camera = request.resolved_camera()
+                self._key_and_probe(entry)
+            plan.append(entry)
 
-        # 3: dedupe the misses into unique frames
+        # 3: admission (degrade, then reject) + dedupe into unique frames
+        self._admit(plan, num_levels)
         unique: dict[bytes, FrameTask] = {}
-        for request, lod, camera, key, cached in plan:
-            if cached is None and key not in unique:
+        for e in plan:
+            if (
+                e.status == "pending"
+                and e.cached is None
+                and e.key not in unique
+            ):
                 sh_degree = (
-                    self.lod_set.sh_degree(lod)
+                    self.lod_set.sh_degree(e.lod)
                     if self.lod_set is not None
                     else self.config_sh_degree()
                 )
-                unique[key] = FrameTask(
-                    camera=camera,
-                    lod=lod,
+                unique[e.key] = FrameTask(
+                    camera=e.camera,
+                    lod=e.lod,
                     sh_degree=sh_degree,
                     config=self.config,
                     background=self.background,
                 )
 
-        # 4: render the unique frames (farm when it pays)
+        # 4: render the unique frames (farm when it pays), each failure
+        # contained to its own frame
         tasks = list(unique.items())
-        if self._farm is not None and len(tasks) >= 2:
-            images = self._farm.render_batch([t for _, t in tasks])
-        else:
-            drop = self.lod_set.drop_level if self.lod_set is not None else None
-            images = [render_frame(self.store, drop, t) for _, t in tasks]
-        rendered = dict(zip((k for k, _ in tasks), images))
+        images, errors = self._render_tasks(tasks)
 
         # 5: fill the cache, answer in submission order. Responses must
         # alias the *stored* array: put() freezes it (snapshotting
         # renderer-buffer views), so clients cannot poison later hits.
-        for key, image in rendered.items():
-            if self.cache is not None:
-                rendered[key] = self.cache.put(key, image)
+        if self.cache is not None:
+            for key, image in images.items():
+                images[key] = self.cache.put(key, image)
         elapsed = time.perf_counter() - t0
         self.stats.busy_s += elapsed
-        self.stats.frames_rendered += len(rendered)
+        self.stats.frames_rendered += len(images)
         responses = []
-        for request, lod, _, key, cached in plan:
-            hit = cached is not None
-            if hit:
+        misses = 0
+        for e in plan:
+            if e.status == "rejected":
+                self.stats.rejected += 1
+                image, hit, status, reason = None, False, "rejected", e.reason
+            elif e.cached is not None:
                 self.stats.cache_hits += 1
+                image, hit = e.cached, True
+                status = "degraded" if e.degraded else "ok"
+                reason = "overload" if e.degraded else ""
             else:
                 self.stats.cache_misses += 1
-                if rendered.get(key) is None:
-                    raise AssertionError("miss neither rendered nor cached")
+                misses += 1
+                hit = False
+                image = images.get(e.key)
+                if image is not None:
+                    status = "degraded" if e.degraded else "ok"
+                    reason = "overload" if e.degraded else ""
+                else:
+                    status = "error"
+                    reason = errors.get(e.key, "frame not rendered")
+            if status == "degraded":
+                self.stats.degraded += 1
             responses.append(
                 RenderResponse(
-                    request=request,
-                    image=cached if hit else rendered[key],
-                    lod=lod,
+                    request=e.request,
+                    image=image,
+                    lod=e.lod,
                     cache_hit=hit,
-                    batch_size=len(rendered),
+                    batch_size=len(images),
                     latency_s=elapsed,
+                    status=status,
+                    reason=reason,
                 )
             )
-        self.stats.deduped += sum(
-            1 for *_, cached in plan if cached is None
-        ) - len(rendered)
+        self.stats.deduped += misses - len(tasks)
+        self._sync_fault_stats()
         return responses
+
+    def _sync_fault_stats(self) -> None:
+        """Mirror infrastructure fault counters into the serve stats."""
+        self.stats.quarantined_pages = len(
+            getattr(self.store, "quarantined", ())
+        )
+        pool = raster_pool_fault_stats()
+        self.stats.pool_worker_deaths = pool["worker_deaths"]
+        self.stats.pool_respawns = pool["respawns"]
+        self.stats.pool_retries = pool["retries"]
 
     def config_sh_degree(self) -> int:
         """SH degree served without a LOD set (the model's full degree)."""

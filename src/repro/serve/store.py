@@ -32,7 +32,9 @@ import tempfile
 
 import numpy as np
 
+from ..core import integrity as _integrity
 from ..core.checkpoint import CheckpointReader
+from ..core.integrity import CorruptPageError, atomic_write_bytes
 from ..core.pagecodec import get_page_codec
 from ..core.splitting import spatial_partition
 from ..core.stores import ResidentSet
@@ -42,9 +44,20 @@ from ..sim.memory import MemoryTracker
 
 __all__ = [
     "InMemoryServingStore",
+    "PageQuarantinedError",
     "PagedServingStore",
     "ServingStore",
 ]
+
+
+class PageQuarantinedError(RuntimeError):
+    """A serving shard's page failed integrity checks and was fenced off.
+
+    Raised on the page-in that detects the corruption and on every later
+    attempt to touch the quarantined shard — requests needing it fail
+    individually (and are reported) while the rest of the model keeps
+    serving; the store as a whole never crashes on a bad page.
+    """
 
 
 def _members(ids: np.ndarray, rows: np.ndarray):
@@ -176,19 +189,23 @@ class _ServeShard:
 
     def seal(self) -> None:
         """Finish building: under a non-raw codec, encode the build
-        memmap into the shard's page file and delete the raw buffer
-        (serving then decodes whole pages); raw pages just flush. One
-        shard's rows are transient at a time."""
+        memmap into the shard's page file (framed with the GSP1 integrity
+        header, written atomically) and delete the raw buffer (serving
+        then decodes whole pages); raw pages flush and record a CRC
+        sidecar. One shard's rows are transient at a time."""
         if self.codec.name == "raw" or not self.num_rows:
             self.flush()
+            if self.page_path:
+                _integrity.write_array_sidecar(
+                    self.page_path, np.ascontiguousarray(self._mm)
+                )
             return
-        buf = self.codec.encode(np.asarray(self._mm))
+        buf = self.codec.encode_page(np.asarray(self._mm))
         enc_path = os.path.join(
             self._store.page_dir,
             f"serve_shard{self.index}.{self.codec.name}.pagez",
         )
-        with open(enc_path, "wb") as fh:
-            fh.write(buf)
+        atomic_write_bytes(enc_path, buf)
         build_path = self.page_path
         self._mm = None
         os.remove(build_path)
@@ -196,14 +213,20 @@ class _ServeShard:
         self.disk_nbytes = len(buf)
 
     def _read_page(self) -> np.ndarray:
+        """Read + validate the page (:class:`~repro.core.integrity.
+        CorruptPageError` on a torn or bit-rotted file)."""
         if self._mm is not None:  # raw (or not yet sealed)
-            return np.array(self._mm)
+            arr = np.array(self._mm)
+            if self.page_path:
+                _integrity.verify_sidecar(self.page_path, arr)
+            return arr
         with open(self.page_path, "rb") as fh:
             buf = fh.read()
-        return self.codec.decode(
+        return self.codec.decode_page(
             buf,
             (self.num_rows, layout.NON_GEOMETRIC_DIM),
             self._store.dtype,
+            path=self.page_path,
         )
 
     @property
@@ -223,15 +246,35 @@ class _ServeShard:
             )
         self._mm[local_rows] = values
         self.flush()
+        # a write invalidates any CRC sidecar a previous seal recorded
+        if self.page_path:
+            side = _integrity.sidecar_path(self.page_path)
+            if os.path.exists(side):
+                os.unlink(side)
 
     def page_in(self) -> None:
-        """Make the shard's columns host-resident (LRU-admitting)."""
+        """Make the shard's columns host-resident (LRU-admitting).
+
+        A page that fails integrity validation quarantines the shard:
+        this call — and every later one for the same shard — raises
+        :class:`PageQuarantinedError`, leaving the rest of the store
+        serving.
+        """
         store = self._store
+        quarantined = store.quarantined.get(self.index)
+        if quarantined is not None:
+            raise PageQuarantinedError(
+                f"serving shard {self.index} is quarantined: {quarantined}"
+            )
         if self.is_resident:
             store.resident_set.touch(self)
             return
         store.resident_set.admit(self)  # spills the LRU shard first
-        self.values = self._read_page()
+        try:
+            self.values = self._read_page()
+        except CorruptPageError as exc:
+            store.resident_set.drop(self)
+            store._quarantine(self, exc)
         store.host_memory.allocate("serve_resident_shards", self.state_bytes)
         store.ledger.record_page_in(
             self.state_bytes, self.disk_nbytes or None
@@ -321,10 +364,21 @@ class PagedServingStore(ServingStore):
         self.host_memory = MemoryTracker(capacity_bytes=host_budget_bytes)
         self.host_memory.allocate("serve_geo", geo_bytes)
         self.resident_set = ResidentSet(min(int(resident), len(self.shard_rows)))
+        #: shard index -> corruption detail for pages fenced off by a
+        #: failed integrity check (surfaced in serving stats)
+        self.quarantined: dict[int, str] = {}
         self.shards = [
             _ServeShard(self, k, int(r.size))
             for k, r in enumerate(self.shard_rows)
         ]
+
+    def _quarantine(self, shard: _ServeShard, exc: CorruptPageError) -> None:
+        """Fence off a corrupt shard page and re-raise as quarantined."""
+        detail = str(exc)
+        self.quarantined[shard.index] = detail
+        raise PageQuarantinedError(
+            f"serving shard {shard.index} quarantined: {detail}"
+        ) from exc
 
     # -- construction ------------------------------------------------------
     def seal(self) -> None:

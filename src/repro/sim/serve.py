@@ -15,6 +15,16 @@ whose per-request service time comes from the same
   leaves the resident shard set (probability ``page_stall_prob``), the
   serving-side analogue of the training tier's shard swaps.
 
+The failure-aware extension models the fault-tolerant tier: workers
+fail per-render with probability ``1 - exp(-service / worker_mtbf_s)``
+and pay one bounded retry (``retry_penalty_s`` + a re-render), and a
+``deadline_s`` admission policy answers late requests either by
+*rejecting* them (no frame) or by *shedding* to a coarse LOD
+(``shed_keep_fraction`` of the splats — cheap, degraded, but a frame).
+The result's ``delivered_fps`` / ``availability`` / ``shed_fraction``
+quantify the paper-style claim the chaos suite asserts: under overload,
+LOD-shedding delivers strictly more frames per second than rejection.
+
 The result reports the numbers a capacity planner reads: p50/p99
 latency, sustained requests/sec, and worker utilization — alongside the
 training schedules, from the same platform definitions.
@@ -62,6 +72,19 @@ class ServeScenario:
         page_stall_prob: probability a rendered request pages a shard in
             first (0 for an in-memory model).
         num_shards: shard count of the paged model (sizes the page).
+        worker_mtbf_s: mean time between worker failures (seconds of
+            busy render time); 0 disables failures. A failed render pays
+            ``retry_penalty_s`` plus one full re-render (the supervised
+            pool's respawn-and-retry, which is bounded and succeeds).
+        retry_penalty_s: respawn + re-dispatch overhead per failure.
+        deadline_s: per-request freshness budget; a request whose queue
+            wait exceeds it is handled by ``overload_policy``. 0
+            disables the deadline.
+        overload_policy: what happens to deadline-missed requests —
+            ``"reject"`` answers without a frame (cheap, nothing
+            delivered) or ``"shed"`` renders at ``shed_keep_fraction``
+            of the splats (cheap *and* a frame, degraded).
+        shed_keep_fraction: LOD splat retention of the shed tier.
         seed: RNG seed; the trace is deterministic in it.
     """
 
@@ -73,6 +96,11 @@ class ServeScenario:
     keep_fraction: float = 1.0
     page_stall_prob: float = 0.0
     num_shards: int = DEFAULT_OUTOFCORE_SHARDS
+    worker_mtbf_s: float = 0.0
+    retry_penalty_s: float = 0.05
+    deadline_s: float = 0.0
+    overload_policy: str = "reject"
+    shed_keep_fraction: float = 0.25
     seed: int = 0
 
     def __post_init__(self):
@@ -88,6 +116,16 @@ class ServeScenario:
             raise ValueError("keep_fraction must be in (0, 1]")
         if not 0.0 <= self.page_stall_prob <= 1.0:
             raise ValueError("page_stall_prob must be in [0, 1]")
+        if self.worker_mtbf_s < 0:
+            raise ValueError("worker_mtbf_s must be >= 0 (0 disables)")
+        if self.retry_penalty_s < 0:
+            raise ValueError("retry_penalty_s must be >= 0")
+        if self.deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0 (0 disables)")
+        if self.overload_policy not in ("reject", "shed"):
+            raise ValueError("overload_policy must be 'reject' or 'shed'")
+        if not 0.0 < self.shed_keep_fraction <= 1.0:
+            raise ValueError("shed_keep_fraction must be in (0, 1]")
 
 
 @dataclass
@@ -104,6 +142,14 @@ class ServeResult:
         cache_hits / rendered: request counts by path.
         render_s: modeled per-frame render time at the scenario's LOD.
         page_stall_s: total seconds spent waiting on page-ins.
+        delivered_fps: frames actually delivered (full or shed detail)
+            per second of makespan — the figure-of-merit the shed-vs-
+            reject comparison reads.
+        availability: delivered frames over total requests.
+        shed_fraction: fraction of requests served at the shed LOD.
+        failures: worker failures absorbed by retry.
+        retry_s: total seconds spent respawning and re-rendering.
+        rejected: requests answered without a frame.
     """
 
     scenario: str
@@ -116,6 +162,12 @@ class ServeResult:
     rendered: int
     render_s: float
     page_stall_s: float
+    delivered_fps: float = 0.0
+    availability: float = 1.0
+    shed_fraction: float = 0.0
+    failures: int = 0
+    retry_s: float = 0.0
+    rejected: int = 0
 
 
 def request_arrivals(
@@ -137,12 +189,22 @@ def simulate_serve(
 
     Requests are served FIFO by the earliest-free worker; a request's
     service time is a cache lookup (hit), or the LOD-reduced forward
-    render plus any page-in stall (miss). Deterministic in the
-    scenario's seed.
+    render plus any page-in stall (miss). With ``worker_mtbf_s`` set,
+    renders fail with probability ``1 - exp(-service / mtbf)`` and pay
+    one bounded retry; with ``deadline_s`` set, deadline-missed
+    requests are rejected or shed per ``overload_policy``. Deterministic
+    in the scenario's seed.
     """
     cost = CostModel(platform)
     render_s = cost.serve_forward(
         int(n_total * active_ratio * scenario.keep_fraction), num_pixels
+    )
+    shed_render_s = cost.serve_forward(
+        int(
+            n_total * active_ratio
+            * scenario.keep_fraction * scenario.shed_keep_fraction
+        ),
+        num_pixels,
     )
     shard_rows = -(-n_total // scenario.num_shards)
     page_s = cost.disk_page(
@@ -155,21 +217,54 @@ def simulate_serve(
     rng = np.random.default_rng(scenario.seed + 1)
     hits = rng.random(scenario.num_requests) < scenario.cache_hit_rate
     stalls = rng.random(scenario.num_requests) < scenario.page_stall_prob
+    fail_draws = np.random.default_rng(scenario.seed + 2).random(
+        scenario.num_requests
+    )
 
     worker_free = np.zeros(scenario.workers)
     latencies = np.empty(scenario.num_requests)
     busy = 0.0
     page_stall_total = 0.0
+    delivered = 0
+    shed = 0
+    rejected = 0
+    failures = 0
+    retry_total = 0.0
     for i, arrival in enumerate(arrivals):
+        w = int(np.argmin(worker_free))
+        start = max(arrival, worker_free[w])
+        wait = start - arrival
+        renders = False
         if hits[i]:
             service = CACHE_LOOKUP_S
+            delivered += 1
+        elif scenario.deadline_s > 0 and wait > scenario.deadline_s:
+            if scenario.overload_policy == "reject":
+                # answered (with the reason), but no frame delivered
+                service = CACHE_LOOKUP_S
+                rejected += 1
+            else:
+                # shed: a coarse frame beats no frame, and its cheap
+                # render drains the queue faster than the full tier
+                service = REQUEST_OVERHEAD_S + shed_render_s
+                renders = True
+                shed += 1
+                delivered += 1
         else:
             service = REQUEST_OVERHEAD_S + render_s
             if stalls[i]:
                 service += page_s
                 page_stall_total += page_s
-        w = int(np.argmin(worker_free))
-        start = max(arrival, worker_free[w])
+            renders = True
+            delivered += 1
+        if renders and scenario.worker_mtbf_s > 0:
+            p_fail = 1.0 - float(np.exp(-service / scenario.worker_mtbf_s))
+            if fail_draws[i] < p_fail:
+                # supervised pool: respawn, re-dispatch, render again
+                failures += 1
+                extra = scenario.retry_penalty_s + service
+                retry_total += extra
+                service += extra
         worker_free[w] = start + service
         latencies[i] = worker_free[w] - arrival
         busy += service
@@ -183,7 +278,13 @@ def simulate_serve(
         seconds=makespan,
         worker_utilization=busy / (scenario.workers * makespan),
         cache_hits=int(hits.sum()),
-        rendered=int((~hits).sum()),
+        rendered=int((~hits).sum()) - rejected,
         render_s=render_s,
         page_stall_s=page_stall_total,
+        delivered_fps=delivered / makespan,
+        availability=delivered / scenario.num_requests,
+        shed_fraction=shed / scenario.num_requests,
+        failures=failures,
+        retry_s=retry_total,
+        rejected=rejected,
     )

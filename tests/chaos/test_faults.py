@@ -1,0 +1,154 @@
+"""Fault-plan mechanics: exactly-once firing, scoping, and file mangling.
+
+The rest of the chaos suite trusts :mod:`repro.faults` to fire each
+scheduled fault exactly where and exactly as many times as the plan
+says; this module pins that contract in-process before the other suites
+rely on it across process boundaries.
+"""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    Fault,
+    FaultPlan,
+    FileFault,
+    InjectedFaultError,
+    active_plan,
+    check_write_fault,
+    corrupt_file,
+    fault_point,
+    truncate_file,
+)
+
+
+def plan(tmp_path, **kwargs):
+    return FaultPlan(token_dir=str(tmp_path / "tokens"), **kwargs)
+
+
+class TestPlanLifecycle:
+    def test_install_and_clear(self, tmp_path):
+        p = plan(tmp_path)
+        assert faults.get_plan() is None
+        faults.install_plan(p)
+        assert faults.get_plan() is p
+        assert os.path.isdir(p.token_dir)
+        faults.clear_plan()
+        assert faults.get_plan() is None
+
+    def test_context_manager_disarms_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with active_plan(plan(tmp_path)):
+                raise RuntimeError("boom")
+        assert faults.get_plan() is None
+
+    def test_disarmed_hooks_are_noops(self, tmp_path):
+        fault_point("anything")  # must not raise or require a plan
+        assert check_write_fault(str(tmp_path / "x")) is None
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="action"):
+            Fault(point="p", action="explode")
+        with pytest.raises(ValueError, match="after"):
+            Fault(point="p", after=-1)
+        with pytest.raises(ValueError, match="kind"):
+            FileFault(match="x", kind="melt")
+        with pytest.raises(ValueError, match="keep_fraction"):
+            FileFault(match="x", keep_fraction=1.5)
+
+
+class TestFaultPoint:
+    def test_raise_fires_exactly_scheduled_visits(self, tmp_path):
+        p = plan(
+            tmp_path,
+            faults=(Fault(point="p", action="raise", after=1, times=2),),
+        )
+        fired = 0
+        with active_plan(p):
+            for _ in range(5):
+                try:
+                    fault_point("p")
+                except InjectedFaultError:
+                    fired += 1
+        assert fired == 2  # visits 1 and 2 of 0..4
+
+    def test_name_and_index_scoping(self, tmp_path):
+        p = plan(
+            tmp_path,
+            faults=(Fault(point="pool:task", action="raise", index=3),),
+        )
+        with active_plan(p):
+            fault_point("other")  # wrong point: no-op, no claim
+            fault_point("pool:task", index=1)  # wrong index: no-op
+            with pytest.raises(InjectedFaultError):
+                fault_point("pool:task", index=3)
+
+    def test_kill_skipped_in_main_process(self, tmp_path):
+        # a kill fault visited by the driving process must neither fire
+        # nor consume its ordinal (the worker it waits for comes later)
+        p = plan(tmp_path, faults=(Fault(point="p", action="kill"),))
+        with active_plan(p):
+            fault_point("p")
+        assert os.listdir(p.token_dir) == []
+
+    def test_delay_sleeps_without_raising(self, tmp_path):
+        p = plan(
+            tmp_path,
+            faults=(Fault(point="p", action="delay", seconds=0.0),),
+        )
+        with active_plan(p):
+            fault_point("p")  # fires (claims + sleeps), no exception
+        assert len(os.listdir(p.token_dir)) == 1
+
+    def test_ordinals_shared_across_fault_ids(self, tmp_path):
+        # two faults on the same point count their visits independently
+        p = plan(
+            tmp_path,
+            faults=(
+                Fault(point="p", action="raise", after=0),
+                Fault(point="p", action="delay", after=0, seconds=0.0),
+            ),
+        )
+        with active_plan(p):
+            with pytest.raises(InjectedFaultError):
+                fault_point("p")
+        names = sorted(os.listdir(p.token_dir))
+        assert names == ["f0.0"]  # the raise aborted before fault f1 ran
+
+
+class TestWriteFault:
+    def test_matches_substring_and_counts_slots(self, tmp_path):
+        p = plan(
+            tmp_path,
+            file_faults=(FileFault(match="ckpt", after=1, times=1),),
+        )
+        with active_plan(p):
+            assert check_write_fault("/a/other.npz") is None
+            assert check_write_fault("/a/ckpt.npz") is None  # visit 0
+            fault = check_write_fault("/a/ckpt.npz")  # visit 1: armed
+            assert fault is not None and fault.kind == "torn"
+            assert check_write_fault("/a/ckpt.npz") is None  # spent
+
+
+class TestFileManglers:
+    def test_truncate(self, tmp_path):
+        path = str(tmp_path / "f.bin")
+        with open(path, "wb") as fh:
+            fh.write(bytes(100))
+        truncate_file(path, keep_fraction=0.25)
+        assert os.path.getsize(path) == 25
+
+    def test_corrupt_flips_and_preserves_size(self, tmp_path):
+        path = str(tmp_path / "f.bin")
+        payload = bytes(range(64))
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        corrupt_file(path, offset=8, length=4)
+        with open(path, "rb") as fh:
+            after = fh.read()
+        assert len(after) == 64
+        assert after[:8] == payload[:8]
+        assert after[8:12] == bytes(b ^ 0xFF for b in payload[8:12])
+        assert after[12:] == payload[12:]

@@ -1,0 +1,186 @@
+"""Supervised PersistentPool: worker death, deadlines, respawn, teardown.
+
+A SIGKILLed pool worker loses its in-flight task; the stdlib ``map``
+would block forever waiting for a result that can never arrive. The
+supervised pool must instead detect the death, tear the pool down,
+respawn, and re-run the map — and because every task routed through it
+is a pure function of its payload, the retried map's results must be
+exactly what the fault-free run would have returned.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import Fault, FaultPlan, active_plan
+from repro.render.parallel import (
+    PersistentPool,
+    PoolFaultError,
+    get_raster_pool,
+    raster_pool_fault_stats,
+    shutdown_raster_pools,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(_):
+    raise ValueError("application error")
+
+
+def _sleepy(x):
+    time.sleep(x)
+    return x
+
+
+def kill_plan(tmp_path, index=1, times=1, **kwargs):
+    return FaultPlan(
+        token_dir=str(tmp_path / "tokens"),
+        faults=(
+            Fault(point="pool:task", action="kill", index=index,
+                  times=times, **kwargs),
+        ),
+    )
+
+
+class TestWorkerDeath:
+    def test_kill_is_absorbed_and_result_exact(self, tmp_path):
+        pool = PersistentPool(2)
+        try:
+            with active_plan(kill_plan(tmp_path)):
+                result = pool.map(_square, [1, 2, 3, 4])
+            assert result == [1, 4, 9, 16]
+            assert pool.worker_deaths >= 1
+            assert pool.respawns >= 1
+            assert pool.retries >= 1
+        finally:
+            pool.close()
+
+    def test_retry_budget_exhaustion_raises_pool_fault(self, tmp_path):
+        # the kill re-fires on every attempt: 1 + max_retries deaths,
+        # then a clean PoolFaultError instead of a deadlock
+        pool = PersistentPool(2, max_retries=1, retry_backoff_s=0.01)
+        try:
+            plan = kill_plan(tmp_path, index=0, times=10)
+            with active_plan(plan):
+                with pytest.raises(PoolFaultError, match="2 attempt"):
+                    pool.map(_square, [1, 2, 3])
+            assert pool.worker_deaths >= 2
+            # a failed map never leaves wedged workers behind
+            assert not pool.started
+            assert pool.map(_square, [5]) == [25]
+        finally:
+            pool.close()
+
+    def test_zero_retries_fails_fast(self, tmp_path):
+        pool = PersistentPool(2, max_retries=0)
+        try:
+            with active_plan(kill_plan(tmp_path, index=0)):
+                with pytest.raises(PoolFaultError):
+                    pool.map(_square, [1, 2])
+        finally:
+            pool.close()
+
+    def test_application_exception_not_retried(self, tmp_path):
+        # app errors re-raise as themselves, immediately: retrying a
+        # deterministic failure would just fail slower
+        pool = PersistentPool(2)
+        try:
+            with pytest.raises(ValueError, match="application error"):
+                pool.map(_boom, [1, 2])
+            assert pool.retries == 0
+            assert not pool.started
+        finally:
+            pool.close()
+
+
+class TestDeadline:
+    def test_deadline_triggers_retry_then_fault(self):
+        pool = PersistentPool(2, task_timeout=0.2, max_retries=0)
+        try:
+            with pytest.raises(PoolFaultError, match="deadline"):
+                pool.map(_sleepy, [5.0, 5.0])
+            assert pool.deadline_hits == 1
+        finally:
+            pool.close()
+
+    def test_fast_tasks_pass_under_deadline(self):
+        pool = PersistentPool(2, task_timeout=30.0)
+        try:
+            assert pool.map(_sleepy, [0.0, 0.0]) == [0.0, 0.0]
+            assert pool.deadline_hits == 0
+        finally:
+            pool.close()
+
+    def test_per_call_override(self):
+        pool = PersistentPool(2)  # no default deadline
+        try:
+            with pytest.raises(PoolFaultError):
+                pool.map(_sleepy, [5.0], timeout=0.2, retries=0)
+        finally:
+            pool.close()
+
+
+class TestTeardown:
+    def test_close_after_worker_kill_is_bounded(self, tmp_path):
+        # close() must come back promptly even when the pool machinery
+        # is wedged by a SIGKILLed worker
+        pool = PersistentPool(2, max_retries=0)
+        try:
+            with active_plan(kill_plan(tmp_path, index=0)):
+                with pytest.raises(PoolFaultError):
+                    pool.map(_square, [1, 2])
+        finally:
+            t0 = time.monotonic()
+            pool.close(join_timeout=5.0)
+            pool.close(join_timeout=5.0)  # idempotent
+            assert time.monotonic() - t0 < 12.0
+        assert not pool.started
+
+    def test_shutdown_raster_pools_idempotent(self):
+        pool = get_raster_pool(2)
+        assert pool.map(_square, [3]) == [9]
+        shutdown_raster_pools()
+        assert not pool.started
+        shutdown_raster_pools()  # idempotent on an empty registry
+
+    def test_fault_stats_aggregate(self, tmp_path):
+        shutdown_raster_pools()
+        pool = get_raster_pool(2)
+        with active_plan(kill_plan(tmp_path)):
+            pool.map(_square, [1, 2, 3])
+        stats = raster_pool_fault_stats()
+        assert stats["worker_deaths"] >= 1
+        assert stats["respawns"] >= 1
+        shutdown_raster_pools()
+
+
+class TestPlanTransport:
+    def test_plan_reaches_spawned_workers_via_payloads(self, tmp_path):
+        # plans ride the task pickles, not inherited globals: a plan
+        # installed *after* the pool's workers spawned still governs them
+        pool = PersistentPool(2)
+        try:
+            assert pool.map(_square, [7]) == [49]  # workers are up
+            with active_plan(kill_plan(tmp_path, index=0)):
+                assert pool.map(_square, [1, 2]) == [1, 4]
+            assert pool.worker_deaths >= 1
+            # and the plan does not leak into later, unplanned maps
+            assert pool.map(_square, [8]) == [64]
+            assert pool.worker_deaths == 1
+        finally:
+            pool.close()
+
+    def test_results_bit_identical_with_and_without_kill(self, tmp_path):
+        data = list(np.random.default_rng(0).normal(size=8))
+        pool = PersistentPool(2)
+        try:
+            clean = pool.map(_square, data)
+            with active_plan(kill_plan(tmp_path, index=3)):
+                faulted = pool.map(_square, data)
+            assert clean == faulted  # float-exact: same pure function
+        finally:
+            pool.close()

@@ -135,7 +135,11 @@ class TestPagedStore:
             page_dir=str(tmp_path / "pages"),
         )
         files = os.listdir(tmp_path / "pages")
-        assert len(files) == len(paged.shards)
+        pages = [f for f in files if not f.endswith(".crc")]
+        sidecars = [f for f in files if f.endswith(".crc")]
+        assert len(pages) == len(paged.shards)
+        # sealing a raw page records its CRC sidecar next to it
+        assert len(sidecars) == len(paged.shards)
         paged.close()
 
 

@@ -83,3 +83,59 @@ class TestQueueing:
             ServeScenario(keep_fraction=0.0)
         with pytest.raises(ValueError):
             ServeScenario(arrival_rate_hz=0.0)
+
+
+class TestFailureModel:
+    """Failure-aware serving: MTBF retries and deadline shed/reject."""
+
+    def test_clean_run_has_no_fault_costs(self, platform):
+        clean = run(platform, workers=2)
+        assert clean.failures == 0
+        assert clean.retry_s == 0.0
+        assert clean.rejected == 0
+        assert clean.availability == 1.0
+        assert clean.shed_fraction == 0.0
+
+    def test_mtbf_failures_cost_throughput_not_frames(self, platform):
+        clean = run(platform, workers=2)
+        flaky = run(platform, workers=2, worker_mtbf_s=0.005)
+        assert flaky.failures > 0
+        assert flaky.retry_s > 0.0
+        assert flaky.requests_per_s < clean.requests_per_s
+        # the supervised pool's bounded retry still delivers every frame
+        assert flaky.availability == 1.0
+
+    def test_reject_policy_loses_frames(self, platform):
+        rejecting = run(
+            platform, workers=1, deadline_s=0.01, overload_policy="reject"
+        )
+        assert rejecting.rejected > 0
+        assert rejecting.availability < 1.0
+        total = rejecting.cache_hits + rejecting.rendered + rejecting.rejected
+        assert total == 300
+
+    def test_shed_beats_reject_on_delivered_fps(self, platform):
+        # the chaos-tier claim: under overload, degrading late requests
+        # to a coarse LOD delivers strictly more frames per second than
+        # rejecting them — a cheap frame beats no frame
+        reject = run(
+            platform, workers=1, deadline_s=0.01, overload_policy="reject"
+        )
+        shed = run(
+            platform, workers=1, deadline_s=0.01, overload_policy="shed"
+        )
+        assert shed.shed_fraction > 0.0
+        assert shed.availability == 1.0
+        assert shed.delivered_fps > reject.delivered_fps
+
+    def test_failure_validation(self):
+        with pytest.raises(ValueError):
+            ServeScenario(overload_policy="drop")
+        with pytest.raises(ValueError):
+            ServeScenario(worker_mtbf_s=-1.0)
+        with pytest.raises(ValueError):
+            ServeScenario(shed_keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            ServeScenario(deadline_s=-0.1)
+        with pytest.raises(ValueError):
+            ServeScenario(retry_penalty_s=-0.1)

@@ -36,13 +36,22 @@ COST_KEYS = (
 RATE_KEYS = ("requests_per_s",)
 TIMING_KEYS = COST_KEYS + RATE_KEYS
 
+#: Fault-tier counters (supervised-pool retries, shed/degraded request
+#: fractions). Informational only: they are neither part of an entry's
+#: identity nor gated against the threshold — a drift prints a plain
+#: ``::notice::`` so reviewers can eyeball resilience changes.
+INFO_KEYS = (
+    "retries", "worker_deaths", "respawns", "deadline_hits",
+    "degraded", "rejected", "shed_fraction", "availability",
+)
+
 
 def entry_key(entry):
     return tuple(
         sorted(
             (k, tuple(v) if isinstance(v, list) else v)
             for k, v in entry.items()
-            if k not in TIMING_KEYS
+            if k not in TIMING_KEYS + INFO_KEYS
         )
     )
 
@@ -79,6 +88,11 @@ def diff(baseline_path, new_path):
                     f"::warning::{new_path}: [{label}] {tk} "
                     f"{ratio:.2f}x baseline ({old:.4f} -> {cur:.4f})"
                 )
+        for ik in INFO_KEYS:
+            old, cur = base.get(ik), fresh.get(ik)
+            if old is not None and cur is not None and old != cur:
+                print(f"::notice::{new_path}: [{label}] {ik} "
+                      f"{old} -> {cur} (informational, not gated)")
     for key in base_entries.keys() - new_entries.keys():
         label = ", ".join(f"{k}={v}" for k, v in key)
         print(f"::notice::{new_path}: baseline entry [{label}] missing "
