@@ -7,7 +7,7 @@ and the performance simulator used to regenerate the paper's figures.
 """
 
 from . import bench, cameras, core, datasets, densify, faults, gaussians, io
-from . import metrics, optim, recon, render, serve, sim, train
+from . import metrics, optim, recon, render, serve, sim, telemetry, train
 from .cameras import Camera
 from .core import (
     GSScaleConfig,
@@ -73,6 +73,7 @@ __all__ = [
     "simulate_epoch",
     "sim",
     "ssim",
+    "telemetry",
     "train",
 ]
 

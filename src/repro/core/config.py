@@ -103,6 +103,14 @@ class GSScaleConfig:
         pool_task_timeout_s: optional per-map deadline (seconds) on
             pooled raster/shard work; a map exceeding it is treated like
             a worker death (respawn + retry). ``None`` waits forever.
+        telemetry: record measured spans and metrics. Installs the
+            process-wide :mod:`repro.telemetry` tracer when the system
+            is built; training phases (cull/stage/forward/backward/
+            unstage/commit), disk paging, the prefetch and write-behind
+            threads, and pool maps (with in-worker spans) all land in
+            one ring buffer, exportable as Chrome trace JSON next to
+            the simulator's modeled trace. Off by default; the
+            instrumentation call sites are near-free when disabled.
         raster: rasterizer thresholds and backend selection.
         engine: one-shot convenience override for ``raster.engine`` — one
             of :data:`repro.render.rasterize.ENGINES` (``"reference"``,
@@ -141,6 +149,7 @@ class GSScaleConfig:
     page_integrity: bool = True
     pool_retries: int = 2
     pool_task_timeout_s: float | None = None
+    telemetry: bool = False
     raster: RasterConfig = field(default_factory=RasterConfig)
     engine: str | None = None
     background: np.ndarray | None = None

@@ -59,6 +59,9 @@ from ..optim.adam import DenseAdam
 from ..optim.base import AdamConfig, SparseOptimizer
 from ..optim.deferred import DeferredAdam
 from ..sim.memory import MemoryTracker
+from ..telemetry import metrics as _metrics
+from ..telemetry import trace as _trace
+from ..telemetry.trace import span as _span
 from . import integrity as _integrity
 from .integrity import CorruptPageError, atomic_write_bytes
 from .pagecodec import get_page_codec
@@ -513,7 +516,9 @@ class _WriteBehindWriter:
                 if job is None:
                     return
                 store, epoch = job
-                store._complete_pending_write(epoch)
+                _trace.name_current_thread("gsscale-writeback")
+                with _span("page/writeback", "page"):
+                    store._complete_pending_write(epoch)
                 self.jobs_written += 1
             except Exception as exc:  # surfaced by the next drain()/close()
                 self._error = exc
@@ -770,8 +775,17 @@ class DiskStore(HostStore):
             else:
                 t0 = time.perf_counter()
                 self._write_pages(arrays)
-                self.sync_spill_s += time.perf_counter() - t0
+                t1 = time.perf_counter()
+                self.sync_spill_s += t1 - t0
                 self.sync_spill_bytes += self._state_bytes()
+                if _trace.enabled():
+                    _trace.get_tracer().record(
+                        "page/out", t0, t1, cat="page",
+                        attrs={"bytes": self._state_bytes()},
+                    )
+                    _metrics.get_registry().histogram(
+                        "page_out_seconds", store="disk"
+                    ).observe(t1 - t0)
             opt.params = opt.m = opt.v = None
             self.params = None
             self._resident = False
@@ -832,7 +846,16 @@ class DiskStore(HostStore):
                 return
             t0 = time.perf_counter()
             arrays = self._read_pages()
-            self.page_in_s += time.perf_counter() - t0
+            t1 = time.perf_counter()
+            self.page_in_s += t1 - t0
+            if _trace.enabled():
+                _trace.get_tracer().record(
+                    "page/in", t0, t1, cat="page",
+                    attrs={"bytes": self._state_bytes()},
+                )
+                _metrics.get_registry().histogram(
+                    "page_in_seconds", store="disk"
+                ).observe(t1 - t0)
             self._install(arrays)
 
     def preload(self) -> PreloadedShard | None:

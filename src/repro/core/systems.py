@@ -64,6 +64,8 @@ from ..render.culling import CullResult
 from ..render.parallel import PersistentPool, pool_fork_guard
 from ..render.rasterize import RasterConfig
 from ..sim.memory import ACTIVATION_BYTES_PER_PIXEL, MemoryTracker
+from ..telemetry import trace as _trace
+from ..telemetry.trace import span as _span
 from ..train.loss import photometric_loss
 from .config import GSScaleConfig
 from .splitting import find_balanced_split_by, spatial_partition
@@ -142,6 +144,21 @@ class TransferLedger:
         self.page_out_disk_bytes += num_bytes if disk_bytes is None else disk_bytes
         if self.parent is not None:
             self.parent.record_page_out(num_bytes, disk_bytes)
+
+    def counts(self) -> dict[str, int]:
+        """The counter fields as a plain dict (no ``parent``).
+
+        The single rollup surface: shard reports, the telemetry
+        registry's ledger mirror, and ad-hoc consumers all read this
+        instead of re-listing the fields.
+        """
+        from dataclasses import fields as _fields
+
+        return {
+            f.name: getattr(self, f.name)
+            for f in _fields(self)
+            if f.name != "parent"
+        }
 
 
 @dataclass
@@ -257,6 +274,9 @@ class TrainingSystem(ABC):
     def __init__(self, model: GaussianModel, config: GSScaleConfig):
         self.config = config
         self.iteration = 0
+        if config.telemetry:
+            # idempotent: every telemetry=True consumer shares one tracer
+            _trace.install()
         self.memory = MemoryTracker(capacity_bytes=config.device_capacity_bytes)
         self.ledger = TransferLedger()
         self._lr = config.lr_vector(dtype=model.dtype)
@@ -341,20 +361,22 @@ class TrainingSystem(ABC):
         act_bytes = camera.num_pixels * ACTIVATION_BYTES_PER_PIXEL
         self.memory.allocate("activations", act_bytes)
         try:
-            res = render(
-                compact,
-                camera,
-                sh_degree=self.config.sh_degree_at(self.iteration),
-                background=self.config.background,
-                valid_ids=np.arange(compact.num_gaussians),
-                config=self.config.raster,
-            )
-            loss = photometric_loss(
-                res.image, gt_region, ssim_lambda=self.config.ssim_lambda
-            )
-            back = render_backward(
-                compact, camera, res, loss.grad_image * pixel_weight
-            )
+            with _span("train/forward", "train"):
+                res = render(
+                    compact,
+                    camera,
+                    sh_degree=self.config.sh_degree_at(self.iteration),
+                    background=self.config.background,
+                    valid_ids=np.arange(compact.num_gaussians),
+                    config=self.config.raster,
+                )
+                loss = photometric_loss(
+                    res.image, gt_region, ssim_lambda=self.config.ssim_lambda
+                )
+            with _span("train/backward", "train"):
+                back = render_backward(
+                    compact, camera, res, loss.grad_image * pixel_weight
+                )
         finally:
             self.memory.free("activations", act_bytes)
         return (
@@ -379,7 +401,8 @@ class TrainingSystem(ABC):
         this for the ``fragment`` engine to render shard by shard without
         ever assembling the union's packed matrix.
         """
-        values = self.store.stage(ids)
+        with _span("train/stage", "train"):
+            values = self.store.stage(ids)
         returned = False
         try:
             compact = GaussianModel(values)
@@ -388,7 +411,8 @@ class TrainingSystem(ABC):
             )
             returned = True
         finally:
-            self.store.unstage(ids, returned=returned)
+            with _span("train/unstage", "train"):
+                self.store.unstage(ids, returned=returned)
         return _RegionOutput(
             ids=ids, grads=grads, mean2d_abs=m2d, loss=loss, l1=l1, ssim=ssim
         )
@@ -421,19 +445,27 @@ class TrainingSystem(ABC):
     def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
         """Run one training iteration through the store composition."""
         self.iteration += 1
+        tok = _trace.begin("train/step", "train")
+        try:
+            return self._step_impl(camera, gt_image)
+        finally:
+            _trace.end(tok)
+
+    def _step_impl(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
         lr = self._scheduled_lr()
         if lr is not None:
             self.store.set_lr(lr)
 
-        regions, whole = self._plan_regions(camera)
+        with _span("train/cull", "train"):
+            regions, whole = self._plan_regions(camera)
         total_px = camera.num_pixels
         outputs: list[_RegionOutput] = []
         for region_cam, x_offset in regions:
-            cull = (
-                whole
-                if whole is not None and len(regions) == 1
-                else self._cull(region_cam)
-            )
+            if whole is not None and len(regions) == 1:
+                cull = whole
+            else:
+                with _span("train/cull", "train"):
+                    cull = self._cull(region_cam)
             ids = cull.valid_ids
             if ids.size == 0:
                 continue
@@ -444,15 +476,17 @@ class TrainingSystem(ABC):
             )
 
         # the lazy host commit of iteration N-1 (overlapped in real time)
-        self.store.commit()
+        with _span("train/commit", "train"):
+            self.store.commit()
 
         if not outputs:
             # nothing visible: no image was rendered (ssim is undefined —
             # NaN, not a fake 1.0), but every optimizer still ticks
-            self.store.return_grads(
-                np.empty(0, dtype=np.int64),
-                np.zeros((0, self.store.dim), dtype=self.store.dtype),
-            )
+            with _span("train/return_grads", "train"):
+                self.store.return_grads(
+                    np.empty(0, dtype=np.int64),
+                    np.zeros((0, self.store.dim), dtype=self.store.dtype),
+                )
             return StepReport(
                 iteration=self.iteration, loss=0.0, l1=0.0,
                 ssim=float("nan"),
@@ -461,8 +495,10 @@ class TrainingSystem(ABC):
                 mean2d_abs=np.empty(0),
             )
 
-        agg = self._aggregate(outputs)
-        self.store.return_grads(agg.ids, agg.grads)
+        with _span("train/aggregate", "train"):
+            agg = self._aggregate(outputs)
+        with _span("train/return_grads", "train"):
+            self.store.return_grads(agg.ids, agg.grads)
 
         return StepReport(
             iteration=self.iteration,
@@ -918,6 +954,12 @@ class ShardedGSScaleSystem(TrainingSystem):
         )
 
     # -- reporting / lifecycle --------------------------------------------
+    #: ledger counters a :class:`ShardReport` carries, verbatim
+    _SHARD_LEDGER_FIELDS = (
+        "h2d_bytes", "d2h_bytes", "h2d_count", "d2h_count",
+        "page_in_bytes", "page_out_bytes",
+    )
+
     def shard_reports(self) -> list[ShardReport]:
         """Per-shard memory and traffic accounting."""
         return [
@@ -926,12 +968,10 @@ class ShardedGSScaleSystem(TrainingSystem):
                 num_gaussians=int(rows.size),
                 peak_bytes=tracker.peak_bytes,
                 live_bytes=tracker.live_bytes,
-                h2d_bytes=ledger.h2d_bytes,
-                d2h_bytes=ledger.d2h_bytes,
-                h2d_count=ledger.h2d_count,
-                d2h_count=ledger.d2h_count,
-                page_in_bytes=ledger.page_in_bytes,
-                page_out_bytes=ledger.page_out_bytes,
+                **{
+                    f: ledger.counts()[f]
+                    for f in self._SHARD_LEDGER_FIELDS
+                },
             )
             for k, (rows, tracker, ledger) in enumerate(
                 zip(self.shard_rows, self.shard_trackers, self.shard_ledgers)
@@ -1080,13 +1120,14 @@ class _AsyncPrefetcher:
             if self._stop:
                 self._done.set()
                 return
+            _trace.name_current_thread("gsscale-prefetch")
             cap = self.staging_budget_bytes()
             for camera in self._cameras:
                 try:
                     # fork guard: a parallel-raster pool must never fork
                     # while this thread is mid-read (inherited half-held
                     # locks would wedge the child workers)
-                    with pool_fork_guard:
+                    with pool_fork_guard, _span("page/prefetch", "page"):
                         buffers = self._prepare(camera, cap)
                 except Exception:
                     buffers = {}  # a failed prefetch is just a cache miss
@@ -1418,12 +1459,14 @@ class OutOfCoreGSScaleSystem(ShardedGSScaleSystem):
                 store.spill()
 
     def step(self, camera: Camera, gt_image: np.ndarray) -> StepReport:
-        active = self.prefetch(camera)
+        with _span("train/prefetch", "train"):
+            active = self.prefetch(camera)
         try:
             report = super().step(camera, gt_image)
         finally:
             self._cull_cache = None  # geometry mutates at step end
-        self.spill_inactive(active)
+        with _span("train/spill", "train"):
+            self.spill_inactive(active)
         return report
 
     def finalize(self) -> None:

@@ -16,6 +16,7 @@ from ..densify import DensificationController, DensifyConfig, DensifyReport
 from ..gaussians import GaussianModel
 from ..metrics import perceptual_distance, psnr, ssim
 from ..render import render
+from ..telemetry.trace import span as _span
 from .config import GSScaleConfig
 from .systems import (
     StepReport,
@@ -214,14 +215,15 @@ class Trainer:
     def _maybe_densify(self, iteration: int, history: TrainingHistory) -> None:
         if not self._controller.should_run(iteration):
             return
-        # structural edits need committed, materialized state
-        self.system.finalize()
-        model = self.system.materialized_model()
-        new_model, report = self._controller.run(
-            model, iteration, self.config.scene_extent
-        )
-        history.densify_reports.append(report)
-        self._rebuild_preserving_accounting(new_model)
+        with _span("train/densify", "train", iteration=iteration):
+            # structural edits need committed, materialized state
+            self.system.finalize()
+            model = self.system.materialized_model()
+            new_model, report = self._controller.run(
+                model, iteration, self.config.scene_extent
+            )
+            history.densify_reports.append(report)
+            self._rebuild_preserving_accounting(new_model)
 
     def _maybe_reset_opacity(self, iteration: int) -> None:
         if not self._controller.should_reset_opacity(iteration):

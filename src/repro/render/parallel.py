@@ -39,6 +39,9 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from .. import faults
+from ..telemetry import trace as _trace
+from ..telemetry.metrics import aggregate_counts
+from ..telemetry.trace import span as _tspan
 from .backward import RasterGrads, alloc_grads
 from .engine import (
     TILE_SIZE,
@@ -260,6 +263,13 @@ class PersistentPool:
         """
         timeout = self.task_timeout if timeout is None else timeout
         retries = self.max_retries if retries is None else retries
+        # tracing wraps innermost (before any fault plan), so the span
+        # capture rides inside the supervised wrapper and retried maps
+        # re-ship their spans like any other result
+        traced = _trace.enabled()
+        if traced:
+            tasks = [(fn, task) for task in tasks]
+            fn = _trace.traced_task
         plan = faults.get_plan()
         if plan is not None:
             tasks = [
@@ -270,23 +280,51 @@ class PersistentPool:
             tasks = list(tasks)
         backoff = self.retry_backoff_s
         attempt = 0
-        while True:
-            try:
-                return self._map_once(fn, tasks, timeout)
-            except (_WorkerDied, _TaskDeadline) as exc:
-                self.close()
-                if attempt >= retries:
-                    raise PoolFaultError(
-                        f"map failed after {attempt + 1} attempt(s): {exc}"
-                    ) from exc
-                attempt += 1
-                self.retries += 1
-                self.respawns += 1
-                time.sleep(backoff)
-                backoff *= 2
-            except Exception:
-                self.close()
-                raise
+        tok = _trace.begin("pool/map", "pool")
+        try:
+            while True:
+                try:
+                    results = self._map_once(fn, tasks, timeout)
+                    break
+                except (_WorkerDied, _TaskDeadline) as exc:
+                    self.close()
+                    if attempt >= retries:
+                        raise PoolFaultError(
+                            f"map failed after {attempt + 1} attempt(s): {exc}"
+                        ) from exc
+                    attempt += 1
+                    self.retries += 1
+                    self.respawns += 1
+                    time.sleep(backoff)
+                    backoff *= 2
+                except Exception:
+                    self.close()
+                    raise
+        finally:
+            _trace.end(tok)
+        if traced:
+            results = self._adopt_worker_spans(results, tok)
+        return results
+
+    def _adopt_worker_spans(self, results, tok):
+        """Unwrap ``traced_task`` results, replaying shipped spans.
+
+        Each task's spans land on a synthetic ``pool-worker-K`` lane
+        (K = task index modulo pool size — a deterministic attribution;
+        the OS scheduler's true assignment isn't observable from the
+        results) anchored at the host-side map start.
+        """
+        tracer = _trace.get_tracer()
+        anchor = tok[3] if tok is not None else None
+        out = []
+        for i, item in enumerate(results):
+            result, spans = item
+            if tracer is not None and anchor is not None:
+                tracer.record_shipped(
+                    spans, anchor, f"pool-worker-{i % self.processes}"
+                )
+            out.append(result)
+        return out
 
     def close(self, join_timeout: float = 10.0) -> None:
         """Terminate and join the workers (idempotent, exception-safe).
@@ -380,12 +418,10 @@ def raster_pool_fault_stats() -> dict[str, int]:
     Serving reads this each tick to surface retry/respawn counts in its
     stats; counters of pools already shut down are not included.
     """
-    totals = {"worker_deaths": 0, "respawns": 0, "retries": 0,
-              "deadline_hits": 0}
-    for pool in _RASTER_POOLS.values():
-        for key, value in pool.fault_stats().items():
-            totals[key] += value
-    return totals
+    return aggregate_counts(
+        (pool.fault_stats() for pool in _RASTER_POOLS.values()),
+        keys=("worker_deaths", "respawns", "retries", "deadline_hits"),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -579,9 +615,10 @@ def _span_task(args):
     arr = None
     try:
         arr = _shm_views(shm, metas)
-        out = _SPAN_FNS[mode](
-            arr, start, stop, width, height, tiles_x, config, tile_size
-        )
+        with _tspan(f"pool/{mode}", "pool"):
+            out = _SPAN_FNS[mode](
+                arr, start, stop, width, height, tiles_x, config, tile_size
+            )
     finally:
         del arr  # drop buffer views so close() cannot see exports
         shm.close()

@@ -58,6 +58,9 @@ from ..cameras.camera import Camera
 from ..gaussians.model import GaussianModel
 from ..render.parallel import raster_pool_fault_stats
 from ..render.rasterize import RasterConfig
+from ..telemetry import metrics as _metrics
+from ..telemetry import trace as _trace
+from ..telemetry.trace import span as _span
 from .cache import FrameCache, frame_key
 from .farm import FrameTask, RenderFarm, render_frame
 from .lod import LODSet
@@ -105,6 +108,10 @@ class ServeConfig:
             supervised pool map (``None`` = the pool's default).
         map_retries: worker-death/deadline retry budget per farm batch
             (``None`` = the pool's default).
+        telemetry: record measured spans and latency histograms through
+            :mod:`repro.telemetry` (installs the process-wide tracer at
+            service construction; tick/request lifecycles, serve
+            page-ins, and farm worker spans all land in one buffer).
     """
 
     deadline_s: float | None = None
@@ -112,6 +119,7 @@ class ServeConfig:
     degrade_before_reject: bool = True
     map_timeout_s: float | None = None
     map_retries: int | None = None
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.deadline_s is not None and self.deadline_s <= 0:
@@ -300,6 +308,9 @@ class RenderService:
         self.serve_config = (
             serve_config if serve_config is not None else ServeConfig()
         )
+        if self.serve_config.telemetry:
+            # idempotent: shares the tracer with any telemetry=True trainer
+            _trace.install()
         self.cache = FrameCache(cache_bytes) if cache_bytes else None
         self.model_version = 0
         self.stats = ServeStats()
@@ -493,6 +504,7 @@ class RenderService:
         queue, self._queue = self._queue, []
         if not queue:
             return []
+        tick_tok = _trace.begin("serve/tick", "serve")
         t0 = time.perf_counter()
         now = time.monotonic()
         self.stats.ticks += 1
@@ -543,7 +555,8 @@ class RenderService:
         # 4: render the unique frames (farm when it pays), each failure
         # contained to its own frame
         tasks = list(unique.items())
-        images, errors = self._render_tasks(tasks)
+        with _span("serve/render", "serve", frames=len(tasks)):
+            images, errors = self._render_tasks(tasks)
 
         # 5: fill the cache, answer in submission order. Responses must
         # alias the *stored* array: put() freezes it (snapshotting
@@ -592,17 +605,37 @@ class RenderService:
             )
         self.stats.deduped += misses - len(tasks)
         self._sync_fault_stats()
+        if _trace.enabled():
+            tracer = _trace.get_tracer()
+            t_end = time.perf_counter()
+            latency = _metrics.get_registry().histogram("serve/latency_s")
+            for resp in responses:
+                latency.observe(resp.latency_s)
+                tracer.record(
+                    "serve/request", t0, t_end, cat="serve",
+                    attrs={"status": resp.status, "lod": resp.lod},
+                )
+        _trace.end(tick_tok)
         return responses
 
     def _sync_fault_stats(self) -> None:
-        """Mirror infrastructure fault counters into the serve stats."""
+        """Mirror infrastructure fault counters into the serve stats.
+
+        One source: the pool counters come from
+        :func:`raster_pool_fault_stats` and fan out to the ``pool_*``
+        stats fields — and, when telemetry is live, into the metrics
+        registry — without re-listing the keys.
+        """
         self.stats.quarantined_pages = len(
             getattr(self.store, "quarantined", ())
         )
         pool = raster_pool_fault_stats()
-        self.stats.pool_worker_deaths = pool["worker_deaths"]
-        self.stats.pool_respawns = pool["respawns"]
-        self.stats.pool_retries = pool["retries"]
+        for key in ("worker_deaths", "respawns", "retries"):
+            setattr(self.stats, f"pool_{key}", pool[key])
+        if _trace.enabled():
+            registry = _metrics.get_registry()
+            _metrics.mirror_pool_faults(registry, pool)
+            _metrics.mirror_serve_stats(registry, self.stats)
 
     def config_sh_degree(self) -> int:
         """SH degree served without a LOD set (the model's full degree)."""

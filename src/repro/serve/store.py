@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 
 import numpy as np
 
@@ -41,6 +42,9 @@ from ..core.stores import ResidentSet
 from ..core.systems import TransferLedger
 from ..gaussians import layout
 from ..sim.memory import MemoryTracker
+from ..telemetry import metrics as _metrics
+from ..telemetry import trace as _trace
+from ..telemetry.trace import span as _span
 
 __all__ = [
     "InMemoryServingStore",
@@ -270,11 +274,18 @@ class _ServeShard:
             store.resident_set.touch(self)
             return
         store.resident_set.admit(self)  # spills the LRU shard first
+        tok = _trace.begin("serve/page_in", "page")
         try:
             self.values = self._read_page()
         except CorruptPageError as exc:
             store.resident_set.drop(self)
             store._quarantine(self, exc)
+        finally:
+            if tok is not None:
+                _trace.end(tok)
+                _metrics.get_registry().histogram(
+                    "page_in_seconds", store="serve"
+                ).observe(time.perf_counter() - tok[3])
         store.host_memory.allocate("serve_resident_shards", self.state_bytes)
         store.ledger.record_page_in(
             self.state_bytes, self.disk_nbytes or None
@@ -285,11 +296,14 @@ class _ServeShard:
         if not self.is_resident:
             return
         store = self._store
-        self.values = None
-        store.resident_set.drop(self)
-        store.host_memory.free("serve_resident_shards", self.state_bytes)
-        # serving pages are immutable: a spill writes nothing to disk
-        store.ledger.record_page_out(self.state_bytes, 0)
+        with _span("serve/page_out", "page", shard=self.index):
+            self.values = None
+            store.resident_set.drop(self)
+            store.host_memory.free(
+                "serve_resident_shards", self.state_bytes
+            )
+            # serving pages are immutable: a spill writes nothing to disk
+            store.ledger.record_page_out(self.state_bytes, 0)
 
 
 class PagedServingStore(ServingStore):

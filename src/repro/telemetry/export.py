@@ -1,0 +1,214 @@
+"""Exporters: measured Chrome traces, Prometheus text, JSON dumps.
+
+The Chrome exporter emits the same trace-event schema as
+:func:`repro.sim.trace.to_chrome_trace` — ``ph:"X"`` duration events
+with microsecond ``ts``/``dur``, ``thread_name`` metadata, wrapped in
+``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — so a measured
+trace opens in chrome://tracing or Perfetto exactly like a modeled one.
+The simulator's lanes live on ``pid`` 1; measured lanes live on
+``pid`` 2 (:data:`MEASURED_PID`) with ``process_name`` metadata, so
+:func:`merge_traces` can put a modeled and a measured timeline of the
+same config side by side in one viewer.
+
+Thread lanes are assigned deterministically in order of first
+appearance. Lane names come from ``Tracer.thread_names`` overrides
+first, then the live ``threading.enumerate()`` names (which is how the
+``gsscale-prefetch`` and ``gsscale-writeback`` daemon threads label
+themselves), then a ``thread-N`` fallback; string tids (the synthetic
+``pool-worker-K`` lanes) display as themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "MEASURED_PID",
+    "merge_traces",
+    "registry_to_json",
+    "to_chrome_trace",
+    "to_prometheus",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_prometheus",
+]
+
+#: pid of measured lanes (the simulator's modeled lanes use pid 1).
+MEASURED_PID = 2
+
+#: Minimum exported duration in us, matching ``sim/trace.py`` so
+#: zero-length spans stay visible in the viewer.
+_MIN_DUR_US = 0.01
+
+
+def _lane_names(tracer: Tracer, tids: list) -> dict:
+    """Display name per tid: overrides, then live threads, then fallback."""
+    live = {t.ident: t.name for t in threading.enumerate()}
+    main = threading.main_thread().ident
+    names = {}
+    for i, tid in enumerate(tids):
+        if tid in tracer.thread_names:
+            names[tid] = tracer.thread_names[tid]
+        elif isinstance(tid, str):
+            names[tid] = tid
+        elif tid == main:
+            names[tid] = "main"
+        elif tid in live:
+            names[tid] = live[tid]
+        else:
+            names[tid] = f"thread-{i}"
+    return names
+
+
+def to_chrome_trace(tracer: Tracer, time_scale_us: float = 1e6,
+                    pid: int = MEASURED_PID) -> dict:
+    """Render a tracer's ring buffer as Chrome trace-event JSON."""
+    events = tracer.events()
+    tids = []
+    for ev in events:
+        if ev.tid not in tids:
+            tids.append(ev.tid)
+    names = _lane_names(tracer, tids)
+    # main thread first, then host threads, then synthetic worker lanes,
+    # each group in first-appearance order — stable lane numbers
+    main = threading.main_thread().ident
+    ordered = sorted(
+        tids, key=lambda t: (t != main, isinstance(t, str), tids.index(t))
+    )
+    lane = {tid: i + 1 for i, tid in enumerate(ordered)}
+
+    out = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": "measured"},
+    }]
+    for tid in ordered:
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": lane[tid],
+            "args": {"name": names[tid]},
+        })
+    for ev in events:
+        entry = {
+            "name": ev.name,
+            "ph": "X",
+            "pid": pid,
+            "tid": lane[ev.tid],
+            "ts": ev.start * time_scale_us,
+            "dur": max(ev.dur * time_scale_us, _MIN_DUR_US),
+            "cat": ev.cat,
+        }
+        if ev.attrs:
+            entry["args"] = dict(ev.attrs)
+        out.append(entry)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def merge_traces(*traces: dict) -> dict:
+    """Concatenate trace documents (e.g. modeled pid 1 + measured pid 2)."""
+    events = []
+    for tr in traces:
+        events.extend(tr.get("traceEvents", ()))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path, modeled: dict | None = None,
+                       time_scale_us: float = 1e6) -> dict:
+    """Write a measured trace (optionally merged with a modeled one)."""
+    doc = to_chrome_trace(tracer, time_scale_us=time_scale_us)
+    if modeled is not None:
+        doc = merge_traces(modeled, doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# metrics exporters
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name for Prometheus exposition."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    s = "".join(out)
+    if s and s[0].isdigit():
+        s = "_" + s
+    return s
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_prom_name(str(k))}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _prom_value(v) -> str:
+    f = float(v)
+    if f != f:
+        return "NaN"
+    return repr(f) if isinstance(v, float) else str(v)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Text-exposition snapshot of the registry.
+
+    Histograms export as Prometheus summaries: ``<name>{quantile=...}``
+    series for p50/p95/p99 plus ``_count`` and ``_sum``.
+    """
+    lines = []
+    for c in registry.counters():
+        name = _prom_name(c.name)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{_prom_labels(c.labels)} {_prom_value(c.value)}")
+    for g in registry.gauges():
+        name = _prom_name(g.name)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{_prom_labels(g.labels)} {_prom_value(g.value)}")
+    for h in registry.histograms():
+        name = _prom_name(h.name)
+        lines.append(f"# TYPE {name} summary")
+        for q in (0.5, 0.95, 0.99):
+            val = h.percentile(q * 100.0) if h.count else float("nan")
+            lines.append(
+                f"{name}{_prom_labels(h.labels, {'quantile': q})} "
+                f"{_prom_value(val)}"
+            )
+        lines.append(f"{name}_count{_prom_labels(h.labels)} {h.count}")
+        lines.append(
+            f"{name}_sum{_prom_labels(h.labels)} {_prom_value(h.sum)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> str:
+    text = to_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text
+
+
+def registry_to_json(registry: MetricsRegistry) -> dict:
+    """JSON-ready dict dump of the registry (same data as Prometheus)."""
+    return registry.snapshot()
+
+
+def write_metrics_json(registry: MetricsRegistry, path) -> dict:
+    doc = registry_to_json(registry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc

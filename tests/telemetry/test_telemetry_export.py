@@ -1,0 +1,135 @@
+"""Exporter tests: Chrome trace schema parity with sim, Prometheus text."""
+
+import json
+import threading
+
+from repro.telemetry import export, trace
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+
+def _traced_run() -> Tracer:
+    tracer = trace.install()
+    with trace.span("train/step", "train"):
+        with trace.span("train/forward", "train"):
+            pass
+    tracer.record_rel("page/in", 0.5, 0.01, cat="page",
+                      tid="pool-worker-0", attrs={"bytes": 4096})
+    return tracer
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self):
+        doc = export.to_chrome_trace(_traced_run())
+        again = json.loads(json.dumps(doc))
+        assert again == doc
+
+    def test_schema_matches_sim_trace(self):
+        """Measured docs carry the exact keys the modeled exporter emits."""
+        doc = export.to_chrome_trace(_traced_run())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        for ev in spans:
+            assert {"name", "ph", "pid", "tid", "ts", "dur", "cat"} <= set(ev)
+            assert ev["pid"] == export.MEASURED_PID
+            assert ev["dur"] >= 0.01  # sim's min visible duration
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {e["name"] for e in metas}
+
+    def test_lane_numbering_main_first_then_workers(self):
+        doc = export.to_chrome_trace(_traced_run())
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names["main"] == 1
+        assert names["pool-worker-0"] == 2
+
+    def test_attrs_become_args(self):
+        doc = export.to_chrome_trace(_traced_run())
+        (page_in,) = [e for e in doc["traceEvents"] if e["name"] == "page/in"]
+        assert page_in["args"] == {"bytes": 4096}
+
+    def test_named_thread_lane_survives_thread_exit(self):
+        tracer = trace.install()
+
+        def worker():
+            trace.name_current_thread("gsscale-prefetch")
+            with trace.span("page/prefetch", "page"):
+                pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        doc = export.to_chrome_trace(tracer)
+        lane_names = [
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "gsscale-prefetch" in lane_names
+
+    def test_merge_keeps_both_pids(self, tmp_path):
+        modeled = {
+            "traceEvents": [
+                {"name": "h2d", "ph": "X", "pid": 1, "tid": 2,
+                 "ts": 0.0, "dur": 5.0, "cat": "pcie"},
+            ],
+            "displayTimeUnit": "ms",
+        }
+        path = tmp_path / "trace.json"
+        doc = export.write_chrome_trace(_traced_run(), path, modeled=modeled)
+        with open(path, encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert on_disk == doc
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, export.MEASURED_PID}
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("page_ins", store="disk").inc(3)
+        reg.gauge("live_bytes").set(1024)
+        hist = reg.histogram("serve/latency_s")
+        for v in (0.01, 0.02, 0.03):
+            hist.observe(v)
+        text = export.to_prometheus(reg)
+        assert '# TYPE page_ins counter' in text
+        assert 'page_ins{store="disk"} 3' in text
+        assert "# TYPE live_bytes gauge" in text
+        assert "# TYPE serve_latency_s summary" in text
+        assert 'serve_latency_s{quantile="0.5"} 0.02' in text
+        assert "serve_latency_s_count 3" in text
+        assert text.endswith("\n")
+
+    def test_metric_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("page/in.bytes").inc()
+        text = export.to_prometheus(reg)
+        assert "page_in_bytes 1" in text
+
+    def test_empty_histogram_exports_nan_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        text = export.to_prometheus(reg)
+        assert 'lat{quantile="0.5"} NaN' in text
+        assert "lat_count 0" in text
+
+    def test_json_dump_matches_snapshot(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        path = tmp_path / "metrics.json"
+        doc = export.write_metrics_json(reg, path)
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh) == doc
+        assert doc == reg.snapshot()
+
+    def test_write_prometheus_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("x").set(1.5)
+        path = tmp_path / "metrics.prom"
+        text = export.write_prometheus(reg, path)
+        assert path.read_text(encoding="utf-8") == text

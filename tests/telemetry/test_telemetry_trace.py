@@ -1,0 +1,188 @@
+"""Tracer unit tests: span recording, nesting, threads, remap, no-op mode."""
+
+import sys
+import threading
+import time
+
+from repro.telemetry import trace
+from repro.telemetry.trace import SpanEvent, Tracer, _NULL_SPAN
+
+
+class TestSpanRecording:
+    def test_span_records_name_cat_and_duration(self):
+        tracer = trace.install()
+        with trace.span("train/forward", "train"):
+            time.sleep(0.002)
+        (ev,) = tracer.events()
+        assert ev.name == "train/forward"
+        assert ev.cat == "train"
+        assert ev.tid == threading.get_ident()
+        assert ev.dur >= 0.002
+        assert ev.start >= 0.0
+
+    def test_nested_spans_close_inner_first(self):
+        tracer = trace.install()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        inner, outer = tracer.events()
+        assert (inner.name, outer.name) == ("inner", "outer")
+        # the outer span brackets the inner one on the timeline
+        assert outer.start <= inner.start
+        assert outer.start + outer.dur >= inner.start + inner.dur
+
+    def test_span_attrs_flow_through(self):
+        tracer = trace.install()
+        with trace.span("page/in", "page", bytes=4096):
+            pass
+        (ev,) = tracer.events()
+        assert ev.attrs == {"bytes": 4096}
+
+    def test_begin_end_brackets_non_lexical_scopes(self):
+        tracer = trace.install()
+        tok = trace.begin("pool/map", "pool")
+        with trace.span("pool/task"):
+            pass
+        trace.end(tok)
+        task, outer = tracer.events()
+        assert outer.name == "pool/map"
+        assert outer.start <= task.start
+
+    def test_span_records_on_exception(self):
+        tracer = trace.install()
+        try:
+            with trace.span("train/step"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [ev.name for ev in tracer.events()] == ["train/step"]
+
+
+class TestThreadAttribution:
+    def test_spans_from_threads_carry_their_ident(self):
+        tracer = trace.install()
+        seen = {}
+
+        def worker():
+            seen["tid"] = threading.get_ident()
+            trace.name_current_thread("bg-worker")
+            with trace.span("page/prefetch", "page"):
+                pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        with trace.span("train/step"):
+            pass
+        by_name = {ev.name: ev for ev in tracer.events()}
+        assert by_name["page/prefetch"].tid == seen["tid"]
+        assert by_name["train/step"].tid == threading.get_ident()
+        # the lane stays labelled even though the thread has exited
+        assert tracer.thread_names[seen["tid"]] == "bg-worker"
+
+
+class TestRingBuffer:
+    def test_wraps_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for i in range(7):
+            tracer.record_rel(f"s{i}", float(i), 0.1)
+        events = tracer.events()
+        assert [ev.name for ev in events] == ["s3", "s4", "s5", "s6"]
+        assert tracer.dropped == 3
+
+    def test_events_returns_oldest_first_copy(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.record_rel(f"s{i}", float(i), 0.1)
+        first = tracer.events()
+        first.append(None)  # mutating the copy must not touch the ring
+        assert [ev.name for ev in tracer.events()] == ["s2", "s3", "s4"]
+
+    def test_clear_resets_events_and_drops(self):
+        tracer = Tracer(capacity=2)
+        for i in range(4):
+            tracer.record_rel(f"s{i}", float(i), 0.1)
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.dropped == 0
+
+
+class TestShippedSpanRemap:
+    SHIPPED = [
+        ("pool/forward", "pool", 0.000, 0.010),
+        ("train/forward", "train", 0.002, 0.004),
+    ]
+
+    def test_remap_is_deterministic(self):
+        a, b = Tracer(), Tracer()
+        b.epoch = a.epoch  # same epoch -> same inputs end to end
+        anchor = a.epoch + 1.5
+        a.record_shipped(self.SHIPPED, anchor, "pool-worker-0")
+        b.record_shipped(self.SHIPPED, anchor, "pool-worker-0")
+        assert a.events() == b.events()
+
+    def test_remap_rebases_onto_anchor_lane(self):
+        tracer = Tracer()
+        anchor = tracer.epoch + 2.0
+        tracer.record_shipped(self.SHIPPED, anchor, "pool-worker-3")
+        outer, inner = tracer.events()
+        assert outer == SpanEvent(
+            "pool/forward", "pool", "pool-worker-3", 2.0, 0.010, None
+        )
+        assert inner.start == 2.002
+        assert inner.tid == "pool-worker-3"
+
+    def test_traced_task_ships_spans_with_result(self):
+        result, shipped = trace.traced_task((_double_with_span, 21))
+        assert result == 42
+        names = [name for name, _cat, _start, _dur in shipped]
+        assert names == ["inner/work", "pool/double_with_span"]
+        for _name, _cat, start, dur in shipped:
+            assert start >= 0.0 and dur >= 0.0
+        # the worker-local tracer never leaks into this process
+        assert trace.get_tracer() is None
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_null_singleton(self):
+        assert trace.get_tracer() is None
+        assert trace.span("train/forward", "train") is _NULL_SPAN
+        assert trace.span("anything") is _NULL_SPAN
+
+    def test_begin_end_are_noops(self):
+        assert trace.begin("pool/map") is None
+        trace.end(None)  # must not raise
+
+    def test_enabled_reflects_install_state(self):
+        assert not trace.enabled()
+        tracer = trace.install()
+        assert trace.enabled()
+        tracer.enabled = False
+        assert not trace.enabled()
+        tracer.enabled = True
+        trace.uninstall()
+        assert not trace.enabled()
+
+    def test_disabled_span_allocates_nothing(self):
+        # warm up so interned strings / bytecode caches settle
+        for _ in range(64):
+            with trace.span("hot/path"):
+                pass
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            with trace.span("hot/path"):
+                pass
+        grown = sys.getallocatedblocks() - before
+        # no per-call allocation: any residue is interpreter noise, far
+        # below one block per span
+        assert grown < 50
+
+    def test_install_is_idempotent(self):
+        a = trace.install()
+        b = trace.install()
+        assert a is b
+
+
+def _double_with_span(x):
+    with trace.span("inner/work", "app"):
+        return 2 * x

@@ -30,6 +30,7 @@ COST_KEYS = (
     "forward_s", "backward_s", "step_s", "roundtrip_s",
     "page_in_s", "page_out_s", "sync_spill_s", "page_stall_fraction",
     "pipeline_s", "monolithic_s", "makespan_s",
+    "disabled_span_ns", "enabled_span_ns",
 )
 #: Higher-is-better measurements (throughput): the regression ratio
 #: inverts for these.
@@ -43,6 +44,7 @@ TIMING_KEYS = COST_KEYS + RATE_KEYS
 INFO_KEYS = (
     "retries", "worker_deaths", "respawns", "deadline_hits",
     "degraded", "rejected", "shed_fraction", "availability",
+    "telemetry_overhead_pct",
 )
 
 
